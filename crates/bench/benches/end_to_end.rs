@@ -1,0 +1,66 @@
+//! Criterion end-to-end benchmarks: whole-machine simulation throughput
+//! per directory organization. These quantify the simulator itself (ops
+//! simulated per second), not the simulated hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stashdir::{CoverageRatio, DirSpec, Machine, SystemConfig, Workload};
+use std::hint::black_box;
+
+fn small_machine(dir: DirSpec) -> SystemConfig {
+    use stashdir::mem::{CacheConfig, ReplKind};
+    SystemConfig {
+        cores: 4,
+        l1: CacheConfig::new(4 * 1024, 2, 64, 1, ReplKind::Lru),
+        l2: CacheConfig::new(16 * 1024, 4, 64, 4, ReplKind::Lru),
+        llc_bank: CacheConfig::new(64 * 1024, 8, 64, 12, ReplKind::Lru),
+        dir,
+        ..SystemConfig::default()
+    }
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    const OPS: usize = 2_000;
+    let mut group = c.benchmark_group("simulate_4core_uniform");
+    group.throughput(Throughput::Elements(4 * OPS as u64));
+    group.sample_size(20);
+    let dirs = [
+        ("fullmap", DirSpec::FullMap),
+        ("sparse_1_8", DirSpec::sparse(CoverageRatio::new(1, 8))),
+        ("stash_1_8", DirSpec::stash(CoverageRatio::new(1, 8))),
+        (
+            "cuckoo_1_8",
+            DirSpec::Cuckoo {
+                coverage: CoverageRatio::new(1, 8),
+            },
+        ),
+    ];
+    for (name, dir) in dirs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dir, |b, &dir| {
+            let traces = Workload::Uniform.generate(4, OPS, 8);
+            b.iter(|| {
+                let report = Machine::new(small_machine(dir)).run(traces.clone());
+                black_box(report.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_machine(c: &mut Criterion) {
+    const OPS: usize = 2_000;
+    let mut group = c.benchmark_group("simulate_16core_data_parallel");
+    group.throughput(Throughput::Elements(16 * OPS as u64));
+    group.sample_size(10);
+    group.bench_function("stash_1_8", |b| {
+        let cfg = SystemConfig::default().with_dir(DirSpec::stash(CoverageRatio::new(1, 8)));
+        let traces = Workload::DataParallel.generate(16, OPS, 8);
+        b.iter(|| {
+            let report = Machine::new(cfg.clone()).run(traces.clone());
+            black_box(report.cycles)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_paper_machine);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the simulator's building blocks: the
+//! directory organizations themselves, set-associative lookup, NoC
+//! routing, sharer-set manipulation and workload generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stashdir::common::{BlockAddr, CoreId, Cycle, DetRng, NodeId, SharerSet};
+use stashdir::mem::{ReplKind, SetAssoc};
+use stashdir::noc::{Mesh, Network, NocConfig};
+use stashdir::protocol::DirView;
+use stashdir::{DirConfig, Workload};
+use std::hint::black_box;
+
+fn bench_directories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directory_install_lookup");
+    let configs = [
+        ("sparse", DirConfig::sparse(64, 8)),
+        ("stash", DirConfig::stash(64, 8)),
+        ("cuckoo", DirConfig::cuckoo(512)),
+        ("fullmap", DirConfig::full_map()),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut dir = cfg.build(1);
+            let mut rng = DetRng::seed_from(2);
+            b.iter(|| {
+                let block = BlockAddr::new(rng.below(4096));
+                let view = DirView::Exclusive(CoreId::new(rng.below(16) as u16));
+                black_box(dir.install(block, view));
+                black_box(dir.lookup(BlockAddr::new(rng.below(4096))));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_assoc(c: &mut Criterion) {
+    c.bench_function("set_assoc_churn_16way", |b| {
+        let mut array: SetAssoc<u64> = SetAssoc::new(512, 16, ReplKind::Lru, 3);
+        let mut rng = DetRng::seed_from(4);
+        b.iter(|| {
+            let block = BlockAddr::new(rng.below(1 << 14));
+            if array.contains(block) {
+                array.touch(block);
+            } else {
+                black_box(array.insert(block, 0));
+            }
+        });
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc_send_8x8_mesh", |b| {
+        let mut net = Network::new(Mesh::new(8, 8), NocConfig::default());
+        let mut rng = DetRng::seed_from(5);
+        let mut t = Cycle::ZERO;
+        b.iter(|| {
+            let src = NodeId::new(rng.below(64) as u16);
+            let dst = NodeId::new(rng.below(64) as u16);
+            t += 1;
+            black_box(net.send(src, dst, 5, "data", t));
+        });
+    });
+}
+
+fn bench_sharers(c: &mut Criterion) {
+    c.bench_function("sharer_set_ops_64core", |b| {
+        let mut set = SharerSet::new(64);
+        let mut rng = DetRng::seed_from(6);
+        b.iter(|| {
+            let core = CoreId::new(rng.below(64) as u16);
+            set.insert(core);
+            black_box(set.sole_member());
+            black_box(set.len());
+            if rng.chance(0.5) {
+                set.remove(core);
+            }
+        });
+    });
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation_16x1000");
+    group.sample_size(20);
+    for w in [
+        Workload::DataParallel,
+        Workload::Canneal,
+        Workload::Migratory,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
+            b.iter(|| black_box(w.generate(16, 1000, 9)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_directories,
+    bench_set_assoc,
+    bench_noc,
+    bench_sharers,
+    bench_workload_gen
+);
+criterion_main!(benches);

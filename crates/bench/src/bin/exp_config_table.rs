@@ -1,0 +1,17 @@
+//! E1 (Table 1): the simulated system configuration.
+
+use stashdir::{CoverageRatio, DirSpec, SystemConfig};
+use stashdir_bench::Table;
+
+fn main() {
+    let config = SystemConfig::default().with_dir(DirSpec::stash(CoverageRatio::new(1, 8)));
+    let mut table = Table::new(
+        "E1 / Table 1 — system configuration (16-core CMP model)",
+        &["parameter", "value"],
+    );
+    for (k, v) in config.table() {
+        table.row(vec![k, v]);
+    }
+    table.print();
+    table.save_csv("e1_config");
+}

@@ -1,0 +1,71 @@
+//! E15 (Figure L, extension): limited-pointer sharer formats composed
+//! with the stash directory. Replacing the full-map vector with `k`
+//! pointers shrinks entries further (e.g. 16 cores: 16 bits → 4k+1 bits)
+//! but wide sharing overflows to broadcast invalidation. Where the stash
+//! premise holds — private blocks dominate — small `k` costs almost
+//! nothing, compounding the paper's storage saving.
+
+use stashdir::{CostParams, CoverageRatio, DirSpec, Machine, SharerFormat, SystemConfig, Workload};
+use stashdir_bench::{f2, f3, Params, Table};
+
+fn main() {
+    let params = Params::default();
+    let coverage = CoverageRatio::new(1, 8);
+    let formats = [
+        ("fullmap-vec", SharerFormat::FullMap),
+        ("ptr4", SharerFormat::LimitedPtr { k: 4 }),
+        ("ptr2", SharerFormat::LimitedPtr { k: 2 }),
+        ("ptr1", SharerFormat::LimitedPtr { k: 1 }),
+    ];
+    let workloads = [
+        Workload::DataParallel,
+        Workload::Lu,
+        Workload::ReadMostly,
+        Workload::Stencil,
+    ];
+
+    let mut table = Table::new(
+        "E15 / Fig L — limited-pointer formats on the stash directory at 1/8 coverage",
+        &[
+            "workload",
+            "format",
+            "norm_time",
+            "inv_probes",
+            "entry_bits",
+            "slice_KiB",
+        ],
+    );
+    for workload in workloads {
+        let ideal = {
+            let cfg = SystemConfig::default().with_dir(DirSpec::FullMap);
+            let traces = workload.generate(cfg.cores, params.ops, params.seed);
+            let r = Machine::new(cfg).run(traces);
+            r.assert_clean();
+            r.cycles as f64
+        };
+        for (name, format) in formats {
+            let mut cfg = SystemConfig::default().with_dir(DirSpec::stash(coverage));
+            cfg.sharer_format = format;
+            let cost: CostParams = cfg.cost_params();
+            let slice_params = CostParams {
+                llc_lines: cost.llc_lines / cfg.cores as u64,
+                ..cost
+            };
+            let slice_bits = cfg.dir_slice().build(0).storage_bits(&slice_params);
+            let traces = workload.generate(cfg.cores, params.ops, params.seed);
+            let r = Machine::new(cfg).run(traces);
+            r.assert_clean();
+            table.row(vec![
+                workload.name().to_string(),
+                name.to_string(),
+                f3(r.cycles as f64 / ideal),
+                f2(r.stat("noc.messages.inv")),
+                format.entry_bits(&slice_params).to_string(),
+                f2(slice_bits as f64 / 8.0 / 1024.0),
+            ]);
+        }
+        eprintln!("[{workload} done]");
+    }
+    table.print();
+    table.save_csv("e15_limited_ptr");
+}

@@ -1,0 +1,56 @@
+//! Coherence-directory organizations: the **Stash Directory** (the paper's
+//! contribution) and the baselines it is evaluated against.
+//!
+//! A directory tracks, per block, which private caches hold copies. The
+//! organizations differ in *storage* and in *what happens when they run
+//! out of it*:
+//!
+//! | Organization | Storage | On conflict |
+//! |---|---|---|
+//! | [`FullMapDirectory`] | one entry per LLC line (ideal) | never conflicts |
+//! | [`SparseDirectory`] | set-associative, under-provisioned | invalidate all copies of the victim |
+//! | [`StashDirectory`] | set-associative, under-provisioned | **silently drop** entries tracking *private* blocks (set the LLC stash bit); invalidate only shared victims |
+//! | [`CuckooDirectory`] | multi-hash, under-provisioned | relocate; invalidate only when a relocation path is exhausted |
+//!
+//! All implement [`DirectoryModel`], so the simulator (and your own code)
+//! can swap them freely.
+//!
+//! # Examples
+//!
+//! ```
+//! use stashdir_common::{BlockAddr, CoreId};
+//! use stashdir_core::{DirConfig, DirectoryModel, EvictionAction};
+//! use stashdir_protocol::DirView;
+//!
+//! // A tiny stash directory: 1 set x 2 ways.
+//! let mut dir = DirConfig::stash(1, 2).build(42);
+//! let owner = |i| DirView::Exclusive(CoreId::new(i));
+//! assert_eq!(dir.install(BlockAddr::new(1), owner(1)), EvictionAction::None);
+//! assert_eq!(dir.install(BlockAddr::new(2), owner(2)), EvictionAction::None);
+//! // Third entry: the set is full, but the LRU victim is private, so the
+//! // stash directory drops it silently instead of invalidating.
+//! match dir.install(BlockAddr::new(3), owner(3)) {
+//!     EvictionAction::Silent { block, .. } => assert_eq!(block, BlockAddr::new(1)),
+//!     other => panic!("expected silent eviction, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cuckoo;
+pub mod format;
+pub mod fullmap;
+pub mod model;
+pub mod sparse;
+pub mod stash;
+mod storage;
+
+pub use cost::{CostParams, EnergyCounts, EnergyModel};
+pub use cuckoo::CuckooDirectory;
+pub use format::SharerFormat;
+pub use fullmap::FullMapDirectory;
+pub use model::{DirConfig, DirKind, DirReplPolicy, DirStats, DirectoryModel, EvictionAction};
+pub use sparse::SparseDirectory;
+pub use stash::StashDirectory;

@@ -1,0 +1,293 @@
+//! Shared set-associative entry storage for the sparse and stash
+//! directories: explicit per-set recency so victim selection can be
+//! content-aware (the stash directory's private-first policy).
+
+use crate::model::DirReplPolicy;
+use stashdir_common::{BlockAddr, DetRng};
+use stashdir_protocol::DirView;
+
+#[derive(Debug)]
+struct DirSet {
+    slots: Vec<Option<(BlockAddr, DirView)>>,
+    /// Way indices ordered least- to most-recently used.
+    lru: Vec<usize>,
+}
+
+impl DirSet {
+    fn way_of(&self, block: BlockAddr) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| matches!(s, Some((b, _)) if *b == block))
+    }
+
+    fn free_way(&self) -> Option<usize> {
+        self.slots.iter().position(Option::is_none)
+    }
+
+    fn promote(&mut self, way: usize) {
+        let pos = self
+            .lru
+            .iter()
+            .position(|&w| w == way)
+            .expect("way tracked in recency order");
+        self.lru.remove(pos);
+        self.lru.push(way);
+    }
+}
+
+/// Set-associative `(BlockAddr, DirView)` storage with LRU bookkeeping.
+#[derive(Debug)]
+pub(crate) struct DirStorage {
+    sets: Vec<DirSet>,
+    set_mask: u64,
+    ways: usize,
+    rng: DetRng,
+}
+
+impl DirStorage {
+    pub(crate) fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        assert!(
+            sets.is_power_of_two(),
+            "directory sets must be a power of two, got {sets}"
+        );
+        assert!(ways > 0, "directory needs at least one way");
+        DirStorage {
+            sets: (0..sets)
+                .map(|_| DirSet {
+                    slots: (0..ways).map(|_| None).collect(),
+                    lru: (0..ways).collect(),
+                })
+                .collect(),
+            set_mask: sets as u64 - 1,
+            ways,
+            rng: DetRng::seed_from(seed),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    pub(crate) fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.slots.iter().filter(|w| w.is_some()).count())
+            .sum()
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.get() & self.set_mask) as usize
+    }
+
+    pub(crate) fn lookup(&self, block: BlockAddr) -> Option<&DirView> {
+        let set = &self.sets[self.set_index(block)];
+        set.way_of(block).map(|w| &set.slots[w].as_ref().unwrap().1)
+    }
+
+    /// Updates an existing entry's view and recency. Returns `false` when
+    /// the block is not tracked.
+    pub(crate) fn update(&mut self, block: BlockAddr, view: DirView) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        match set.way_of(block) {
+            Some(w) => {
+                set.slots[w] = Some((block, view));
+                set.promote(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether inserting `block` requires displacing an entry.
+    pub(crate) fn needs_victim(&self, block: BlockAddr) -> bool {
+        let set = &self.sets[self.set_index(block)];
+        set.way_of(block).is_none() && set.free_way().is_none()
+    }
+
+    /// Chooses (without removing) the victim way for an insertion of
+    /// `block` into its full set, honoring `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is not full.
+    pub(crate) fn choose_victim(
+        &mut self,
+        block: BlockAddr,
+        policy: DirReplPolicy,
+    ) -> (BlockAddr, DirView) {
+        let idx = self.set_index(block);
+        debug_assert!(self.needs_victim(block));
+        let way = {
+            let set = &self.sets[idx];
+            match policy {
+                DirReplPolicy::Lru => set.lru[0],
+                DirReplPolicy::PrivateFirstLru => set
+                    .lru
+                    .iter()
+                    .copied()
+                    .find(|&w| {
+                        set.slots[w]
+                            .as_ref()
+                            .map(|(_, v)| v.is_private())
+                            .unwrap_or(false)
+                    })
+                    .unwrap_or(set.lru[0]),
+                DirReplPolicy::Random => self.rng.index(self.ways),
+            }
+        };
+        let (b, v) = self.sets[idx].slots[way]
+            .as_ref()
+            .expect("full set has no empty slots");
+        (*b, v.clone())
+    }
+
+    /// Inserts `block` into a set with room (a free way must exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is full or the block already tracked.
+    pub(crate) fn insert(&mut self, block: BlockAddr, view: DirView) {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        assert!(set.way_of(block).is_none(), "block {block} already tracked");
+        let way = set.free_way().expect("insert requires a free way");
+        set.slots[way] = Some((block, view));
+        set.promote(way);
+    }
+
+    /// Removes `block`'s entry, returning its view.
+    pub(crate) fn remove(&mut self, block: BlockAddr) -> Option<DirView> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        let w = set.way_of(block)?;
+        set.slots[w].take().map(|(_, v)| v)
+    }
+
+    pub(crate) fn entries(&self) -> Vec<(BlockAddr, DirView)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.slots.iter().filter_map(|w| w.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stashdir_common::{CoreId, SharerSet};
+
+    fn excl(core: u16) -> DirView {
+        DirView::Exclusive(CoreId::new(core))
+    }
+
+    fn shared(cores: &[u16]) -> DirView {
+        let mut s = SharerSet::new(16);
+        s.extend(cores.iter().map(|&c| CoreId::new(c)));
+        DirView::Shared(s)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut st = DirStorage::new(4, 2, 0);
+        st.insert(BlockAddr::new(1), excl(3));
+        assert_eq!(st.lookup(BlockAddr::new(1)), Some(&excl(3)));
+        assert_eq!(st.occupancy(), 1);
+        assert_eq!(st.remove(BlockAddr::new(1)), Some(excl(3)));
+        assert_eq!(st.lookup(BlockAddr::new(1)), None);
+    }
+
+    #[test]
+    fn update_refreshes_recency() {
+        let mut st = DirStorage::new(1, 2, 0);
+        st.insert(BlockAddr::new(0), excl(0));
+        st.insert(BlockAddr::new(1), excl(1));
+        assert!(st.update(BlockAddr::new(0), excl(5)));
+        let (victim, _) = st.choose_victim(BlockAddr::new(2), DirReplPolicy::Lru);
+        assert_eq!(victim, BlockAddr::new(1), "block 0 was refreshed");
+        assert!(!st.update(BlockAddr::new(9), excl(0)));
+    }
+
+    #[test]
+    fn private_first_skips_shared_entries() {
+        let mut st = DirStorage::new(1, 3, 0);
+        st.insert(BlockAddr::new(0), shared(&[1, 2])); // LRU but shared
+        st.insert(BlockAddr::new(1), excl(4));
+        st.insert(BlockAddr::new(2), shared(&[5, 6]));
+        let (victim, view) = st.choose_victim(BlockAddr::new(3), DirReplPolicy::PrivateFirstLru);
+        assert_eq!(victim, BlockAddr::new(1));
+        assert!(view.is_private());
+    }
+
+    #[test]
+    fn private_first_counts_single_sharer_as_private() {
+        let mut st = DirStorage::new(1, 2, 0);
+        st.insert(BlockAddr::new(0), shared(&[1, 2]));
+        st.insert(BlockAddr::new(1), shared(&[7]));
+        let (victim, _) = st.choose_victim(BlockAddr::new(2), DirReplPolicy::PrivateFirstLru);
+        assert_eq!(victim, BlockAddr::new(1));
+    }
+
+    #[test]
+    fn private_first_falls_back_to_lru() {
+        let mut st = DirStorage::new(1, 2, 0);
+        st.insert(BlockAddr::new(0), shared(&[1, 2]));
+        st.insert(BlockAddr::new(1), shared(&[3, 4]));
+        let (victim, _) = st.choose_victim(BlockAddr::new(2), DirReplPolicy::PrivateFirstLru);
+        assert_eq!(victim, BlockAddr::new(0), "plain LRU fallback");
+    }
+
+    #[test]
+    fn needs_victim_tracks_fullness() {
+        let mut st = DirStorage::new(1, 2, 0);
+        assert!(!st.needs_victim(BlockAddr::new(0)));
+        st.insert(BlockAddr::new(0), excl(0));
+        st.insert(BlockAddr::new(1), excl(1));
+        assert!(st.needs_victim(BlockAddr::new(2)));
+        assert!(
+            !st.needs_victim(BlockAddr::new(0)),
+            "present block needs none"
+        );
+    }
+
+    #[test]
+    fn random_policy_picks_any_way() {
+        let mut st = DirStorage::new(1, 4, 7);
+        for i in 0..4 {
+            st.insert(BlockAddr::new(i), excl(i as u16));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let (victim, _) = st.choose_victim(BlockAddr::new(9), DirReplPolicy::Random);
+            seen.insert(victim.get());
+        }
+        assert!(
+            seen.len() >= 3,
+            "random should spread over ways, saw {seen:?}"
+        );
+    }
+
+    #[test]
+    fn entries_snapshot_everything() {
+        let mut st = DirStorage::new(2, 2, 0);
+        st.insert(BlockAddr::new(0), excl(1));
+        st.insert(BlockAddr::new(1), shared(&[2, 3]));
+        let mut blocks: Vec<u64> = st.entries().iter().map(|(b, _)| b.get()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already tracked")]
+    fn double_insert_panics() {
+        let mut st = DirStorage::new(2, 2, 0);
+        st.insert(BlockAddr::new(0), excl(0));
+        st.insert(BlockAddr::new(0), excl(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_set_count_panics() {
+        let _ = DirStorage::new(3, 2, 0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Replacement policies for set-associative structures.
+//!
+//! A policy instance manages the ways of **one** set. [`SetAssoc`] keeps
+//! one instance per set. Policies see three events: a fill into a way, a
+//! hit on a way, and a victim request. Invalid ways are always preferred
+//! as victims, ahead of whatever the policy would choose.
+//!
+//! [`SetAssoc`]: crate::SetAssoc
+
+use serde::{Deserialize, Serialize};
+use stashdir_common::DetRng;
+use std::fmt;
+
+/// The replacement decision logic for one cache set.
+///
+/// Implementations must be deterministic given the same event sequence and
+/// the same RNG stream.
+pub trait ReplacementPolicy: fmt::Debug {
+    /// Called when `way` is filled with a new block.
+    fn on_fill(&mut self, way: usize);
+
+    /// Called when `way` hits.
+    fn on_hit(&mut self, way: usize);
+
+    /// Chooses the way to evict among the valid ways.
+    ///
+    /// `valid[w]` tells whether way `w` currently holds a block. The caller
+    /// guarantees at least one way is valid; callers prefer invalid ways
+    /// themselves, so policies may assume the set is full in practice but
+    /// must still return a *valid* way if some are invalid.
+    fn victim(&mut self, valid: &[bool], rng: &mut DetRng) -> usize;
+}
+
+/// Selects which [`ReplacementPolicy`] a structure uses.
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_mem::ReplKind;
+/// let policy = ReplKind::Lru.build(8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReplKind {
+    /// Least-recently-used, exact stack order.
+    #[default]
+    Lru,
+    /// First-in-first-out (fill order, hits do not promote).
+    Fifo,
+    /// Uniform random among valid ways.
+    Random,
+    /// Not-recently-used: one reference bit per way, cleared in bulk.
+    Nru,
+    /// Static re-reference interval prediction with 2-bit RRPV counters.
+    Srrip,
+    /// Tree pseudo-LRU (binary decision tree).
+    TreePlru,
+}
+
+impl ReplKind {
+    /// Instantiates the policy for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn build(self, ways: usize) -> Box<dyn ReplacementPolicy> {
+        assert!(ways > 0, "a set needs at least one way");
+        match self {
+            ReplKind::Lru => Box::new(Lru::new(ways)),
+            ReplKind::Fifo => Box::new(Fifo::new(ways)),
+            ReplKind::Random => Box::new(Random { ways }),
+            ReplKind::Nru => Box::new(Nru::new(ways)),
+            ReplKind::Srrip => Box::new(Srrip::new(ways)),
+            ReplKind::TreePlru => Box::new(TreePlru::new(ways)),
+        }
+    }
+}
+
+impl fmt::Display for ReplKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReplKind::Lru => "lru",
+            ReplKind::Fifo => "fifo",
+            ReplKind::Random => "random",
+            ReplKind::Nru => "nru",
+            ReplKind::Srrip => "srrip",
+            ReplKind::TreePlru => "tree-plru",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Exact LRU: a recency stack of way indices, most recent at the back.
+#[derive(Debug, Clone)]
+struct Lru {
+    // stack[0] is least recently used.
+    stack: Vec<usize>,
+}
+
+impl Lru {
+    fn new(ways: usize) -> Self {
+        Lru {
+            stack: (0..ways).collect(),
+        }
+    }
+
+    fn promote(&mut self, way: usize) {
+        let pos = self
+            .stack
+            .iter()
+            .position(|&w| w == way)
+            .expect("way tracked by LRU stack");
+        self.stack.remove(pos);
+        self.stack.push(way);
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_fill(&mut self, way: usize) {
+        self.promote(way);
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.promote(way);
+    }
+
+    fn victim(&mut self, valid: &[bool], _rng: &mut DetRng) -> usize {
+        *self
+            .stack
+            .iter()
+            .find(|&&w| valid[w])
+            .expect("at least one valid way")
+    }
+}
+
+/// FIFO: eviction in fill order; hits do not refresh.
+#[derive(Debug, Clone)]
+struct Fifo {
+    queue: Vec<usize>,
+}
+
+impl Fifo {
+    fn new(ways: usize) -> Self {
+        Fifo {
+            queue: (0..ways).collect(),
+        }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn on_fill(&mut self, way: usize) {
+        let pos = self
+            .queue
+            .iter()
+            .position(|&w| w == way)
+            .expect("way tracked by FIFO queue");
+        self.queue.remove(pos);
+        self.queue.push(way);
+    }
+
+    fn on_hit(&mut self, _way: usize) {}
+
+    fn victim(&mut self, valid: &[bool], _rng: &mut DetRng) -> usize {
+        *self
+            .queue
+            .iter()
+            .find(|&&w| valid[w])
+            .expect("at least one valid way")
+    }
+}
+
+/// Uniform random among valid ways.
+#[derive(Debug, Clone)]
+struct Random {
+    ways: usize,
+}
+
+impl ReplacementPolicy for Random {
+    fn on_fill(&mut self, _way: usize) {}
+
+    fn on_hit(&mut self, _way: usize) {}
+
+    fn victim(&mut self, valid: &[bool], rng: &mut DetRng) -> usize {
+        let candidates: Vec<usize> = (0..self.ways).filter(|&w| valid[w]).collect();
+        *rng.pick(&candidates)
+    }
+}
+
+/// NRU: one reference bit per way; victim is the first valid way with a
+/// clear bit, clearing all bits when every valid way is referenced.
+#[derive(Debug, Clone)]
+struct Nru {
+    referenced: Vec<bool>,
+}
+
+impl Nru {
+    fn new(ways: usize) -> Self {
+        Nru {
+            referenced: vec![false; ways],
+        }
+    }
+}
+
+impl ReplacementPolicy for Nru {
+    fn on_fill(&mut self, way: usize) {
+        self.referenced[way] = true;
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.referenced[way] = true;
+    }
+
+    fn victim(&mut self, valid: &[bool], _rng: &mut DetRng) -> usize {
+        if let Some(w) = (0..self.referenced.len()).find(|&w| valid[w] && !self.referenced[w]) {
+            return w;
+        }
+        // Everyone referenced: clear and take the first valid way.
+        self.referenced.iter_mut().for_each(|r| *r = false);
+        (0..self.referenced.len())
+            .find(|&w| valid[w])
+            .expect("at least one valid way")
+    }
+}
+
+const RRPV_MAX: u8 = 3; // 2-bit counters
+const RRPV_INSERT: u8 = 2; // "long" re-reference prediction on insert
+
+/// SRRIP-HP with 2-bit re-reference prediction values.
+#[derive(Debug, Clone)]
+struct Srrip {
+    rrpv: Vec<u8>,
+}
+
+impl Srrip {
+    fn new(ways: usize) -> Self {
+        Srrip {
+            rrpv: vec![RRPV_MAX; ways],
+        }
+    }
+}
+
+impl ReplacementPolicy for Srrip {
+    fn on_fill(&mut self, way: usize) {
+        self.rrpv[way] = RRPV_INSERT;
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.rrpv[way] = 0;
+    }
+
+    fn victim(&mut self, valid: &[bool], _rng: &mut DetRng) -> usize {
+        loop {
+            if let Some(w) = (0..self.rrpv.len()).find(|&w| valid[w] && self.rrpv[w] == RRPV_MAX) {
+                return w;
+            }
+            for (r, &v) in self.rrpv.iter_mut().zip(valid) {
+                if v {
+                    *r = (*r + 1).min(RRPV_MAX);
+                }
+            }
+        }
+    }
+}
+
+/// Tree pseudo-LRU over the next power of two of `ways`.
+#[derive(Debug, Clone)]
+struct TreePlru {
+    ways: usize,
+    // Bits of a complete binary tree; bit=false means "LRU side is left".
+    tree: Vec<bool>,
+    leaves: usize,
+}
+
+impl TreePlru {
+    fn new(ways: usize) -> Self {
+        let leaves = ways.next_power_of_two();
+        TreePlru {
+            ways,
+            tree: vec![false; leaves.max(2) - 1],
+            leaves,
+        }
+    }
+
+    /// Flips the path bits so they point away from `way`.
+    fn touch(&mut self, way: usize) {
+        let mut node = 0;
+        let mut lo = 0;
+        let mut size = self.leaves;
+        while size > 1 {
+            let half = size / 2;
+            let go_right = way >= lo + half;
+            // Point the bit at the *other* half (the LRU side).
+            self.tree[node] = !go_right;
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo += half;
+            }
+            size = half;
+        }
+    }
+
+    fn follow(&self) -> usize {
+        let mut node = 0;
+        let mut lo = 0;
+        let mut size = self.leaves;
+        while size > 1 {
+            let half = size / 2;
+            let go_right = self.tree[node];
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo += half;
+            }
+            size = half;
+        }
+        lo
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn on_fill(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn victim(&mut self, valid: &[bool], _rng: &mut DetRng) -> usize {
+        let chosen = self.follow();
+        if chosen < self.ways && valid[chosen] {
+            return chosen;
+        }
+        // Padding leaf (non-power-of-two ways) or invalid way: fall back to
+        // the first valid way, preserving pseudo-LRU's O(1) spirit.
+        (0..self.ways)
+            .find(|&w| valid[w])
+            .expect("at least one valid way")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from(99)
+    }
+
+    fn all_valid(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = ReplKind::Lru.build(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        p.on_hit(0); // order now 1,2,3,0
+        assert_eq!(p.victim(&all_valid(4), &mut rng()), 1);
+        p.on_hit(1);
+        assert_eq!(p.victim(&all_valid(4), &mut rng()), 2);
+    }
+
+    #[test]
+    fn lru_skips_invalid_ways() {
+        let mut p = ReplKind::Lru.build(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        let valid = vec![false, false, true, true];
+        assert_eq!(p.victim(&valid, &mut rng()), 2);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut p = ReplKind::Fifo.build(3);
+        for w in 0..3 {
+            p.on_fill(w);
+        }
+        p.on_hit(0);
+        p.on_hit(0);
+        assert_eq!(
+            p.victim(&all_valid(3), &mut rng()),
+            0,
+            "hits do not refresh"
+        );
+        p.on_fill(0); // refill moves 0 to the back
+        assert_eq!(p.victim(&all_valid(3), &mut rng()), 1);
+    }
+
+    #[test]
+    fn random_only_picks_valid() {
+        let mut p = ReplKind::Random.build(8);
+        let mut r = rng();
+        let valid = vec![false, true, false, true, false, false, false, true];
+        for _ in 0..100 {
+            let v = p.victim(&valid, &mut r);
+            assert!(valid[v]);
+        }
+    }
+
+    #[test]
+    fn nru_prefers_unreferenced_then_resets() {
+        let mut p = ReplKind::Nru.build(4);
+        p.on_fill(0);
+        p.on_fill(1);
+        p.on_fill(2);
+        // way 3 never filled/referenced in NRU terms.
+        assert_eq!(p.victim(&all_valid(4), &mut rng()), 3);
+        p.on_hit(3);
+        // Now all referenced: reset happens and the first valid way wins.
+        assert_eq!(p.victim(&all_valid(4), &mut rng()), 0);
+    }
+
+    #[test]
+    fn srrip_hits_protect_lines() {
+        let mut p = ReplKind::Srrip.build(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        p.on_hit(0); // rrpv(0)=0, rrpv(1)=2
+        assert_eq!(p.victim(&all_valid(2), &mut rng()), 1);
+    }
+
+    #[test]
+    fn srrip_ages_until_a_victim_exists() {
+        let mut p = ReplKind::Srrip.build(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        p.on_hit(0);
+        p.on_hit(1); // both rrpv 0; aging loop must terminate
+        let v = p.victim(&all_valid(2), &mut rng());
+        assert!(v < 2);
+    }
+
+    #[test]
+    fn tree_plru_points_away_from_recent() {
+        let mut p = ReplKind::TreePlru.build(4);
+        for w in 0..4 {
+            p.on_fill(w);
+        }
+        // Most recent fill was way 3 (right subtree); victim must be on the
+        // left subtree.
+        let v = p.victim(&all_valid(4), &mut rng());
+        assert!(v < 2, "victim {v} should be in the left half");
+    }
+
+    #[test]
+    fn tree_plru_handles_non_power_of_two() {
+        let mut p = ReplKind::TreePlru.build(3);
+        for w in 0..3 {
+            p.on_fill(w);
+        }
+        for _ in 0..10 {
+            let v = p.victim(&all_valid(3), &mut rng());
+            assert!(v < 3);
+            p.on_fill(v);
+        }
+    }
+
+    #[test]
+    fn every_policy_round_trips_under_churn() {
+        let mut r = rng();
+        for kind in [
+            ReplKind::Lru,
+            ReplKind::Fifo,
+            ReplKind::Random,
+            ReplKind::Nru,
+            ReplKind::Srrip,
+            ReplKind::TreePlru,
+        ] {
+            let mut p = kind.build(8);
+            let valid = all_valid(8);
+            for i in 0..1000 {
+                match i % 3 {
+                    0 => p.on_fill(i % 8),
+                    1 => p.on_hit((i * 5) % 8),
+                    _ => {
+                        let v = p.victim(&valid, &mut r);
+                        assert!(v < 8, "{kind}: victim out of range");
+                        p.on_fill(v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(ReplKind::Lru.to_string(), "lru");
+        assert_eq!(ReplKind::TreePlru.to_string(), "tree-plru");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = ReplKind::Lru.build(0);
+    }
+}

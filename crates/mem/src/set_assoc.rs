@@ -1,0 +1,394 @@
+//! A generic set-associative tag array.
+//!
+//! [`SetAssoc`] maps [`BlockAddr`]s to payloads of type `L` (cache-line
+//! metadata, directory entries, …) with bounded associativity and a
+//! pluggable replacement policy. It is the storage substrate for the
+//! private caches, the LLC banks and the sparse/stash directory slices.
+
+use crate::replacement::{ReplKind, ReplacementPolicy};
+use stashdir_common::{BlockAddr, DetRng};
+
+struct Set<L> {
+    ways: Vec<Option<(BlockAddr, L)>>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl<L> Set<L> {
+    fn valid_mask(&self) -> Vec<bool> {
+        self.ways.iter().map(Option::is_some).collect()
+    }
+
+    fn way_of(&self, block: BlockAddr) -> Option<usize> {
+        self.ways
+            .iter()
+            .position(|w| matches!(w, Some((b, _)) if *b == block))
+    }
+
+    fn free_way(&self) -> Option<usize> {
+        self.ways.iter().position(Option::is_none)
+    }
+}
+
+/// A set-associative array of `L` payloads keyed by block address.
+///
+/// The structural invariant is that a block lives in exactly one way of the
+/// set its address maps to, so lookups are O(associativity).
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_common::BlockAddr;
+/// use stashdir_mem::{ReplKind, SetAssoc};
+///
+/// let mut a: SetAssoc<u32> = SetAssoc::new(2, 2, ReplKind::Lru, 7);
+/// a.insert(BlockAddr::new(1), 10);
+/// assert_eq!(a.get(BlockAddr::new(1)), Some(&10));
+/// assert_eq!(a.occupancy(), 1);
+/// ```
+pub struct SetAssoc<L> {
+    sets: Vec<Set<L>>,
+    ways: usize,
+    set_mask: u64,
+    rng: DetRng,
+    repl: ReplKind,
+}
+
+impl<L> SetAssoc<L> {
+    /// Creates an array with `num_sets` sets of `ways` ways using the given
+    /// replacement policy. `seed` feeds the policy's RNG (only `Random`
+    /// consumes it) so runs are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or `ways` is zero.
+    pub fn new(num_sets: usize, ways: usize, repl: ReplKind, seed: u64) -> Self {
+        assert!(
+            num_sets.is_power_of_two(),
+            "num_sets must be a power of two, got {num_sets}"
+        );
+        assert!(ways > 0, "ways must be positive");
+        let sets = (0..num_sets)
+            .map(|_| Set {
+                ways: (0..ways).map(|_| None).collect(),
+                policy: repl.build(ways),
+            })
+            .collect();
+        SetAssoc {
+            sets,
+            ways,
+            set_mask: num_sets as u64 - 1,
+            rng: DetRng::seed_from(seed),
+            repl,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of blocks currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().filter(|w| w.is_some()).count())
+            .sum()
+    }
+
+    /// The replacement policy kind this array was built with.
+    pub fn repl_kind(&self) -> ReplKind {
+        self.repl
+    }
+
+    /// The set index a block maps to.
+    pub fn set_index(&self, block: BlockAddr) -> usize {
+        (block.get() & self.set_mask) as usize
+    }
+
+    /// Returns the payload for `block` without updating recency.
+    pub fn get(&self, block: BlockAddr) -> Option<&L> {
+        let set = &self.sets[self.set_index(block)];
+        set.way_of(block).map(|w| &set.ways[w].as_ref().unwrap().1)
+    }
+
+    /// Returns the payload for `block` mutably without updating recency.
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        set.way_of(block)
+            .map(|w| &mut set.ways[w].as_mut().unwrap().1)
+    }
+
+    /// Tests whether `block` is present.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.get(block).is_some()
+    }
+
+    /// Records a hit on `block`, promoting it in the replacement order.
+    /// Returns `false` if the block is absent.
+    pub fn touch(&mut self, block: BlockAddr) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        match set.way_of(block) {
+            Some(w) => {
+                set.policy.on_hit(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns the payload mutably and promotes the block (hit semantics).
+    pub fn access_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        let w = set.way_of(block)?;
+        set.policy.on_hit(w);
+        Some(&mut set.ways[w].as_mut().unwrap().1)
+    }
+
+    /// Inserts `block`, evicting and returning the replacement victim if
+    /// the target set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already present (callers must use [`get_mut`]
+    /// to update an existing payload).
+    ///
+    /// [`get_mut`]: SetAssoc::get_mut
+    pub fn insert(&mut self, block: BlockAddr, payload: L) -> Option<(BlockAddr, L)> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        assert!(
+            set.way_of(block).is_none(),
+            "block {block} already present; update it instead of re-inserting"
+        );
+        let (way, evicted) = match set.free_way() {
+            Some(w) => (w, None),
+            None => {
+                let valid = set.valid_mask();
+                let w = set.policy.victim(&valid, &mut self.rng);
+                (w, set.ways[w].take())
+            }
+        };
+        set.ways[way] = Some((block, payload));
+        set.policy.on_fill(way);
+        evicted
+    }
+
+    /// The block that would be evicted if `block` were inserted now, or
+    /// `None` if the target set still has a free way (or already holds
+    /// `block`). May advance policy state (SRRIP aging, RNG draws), which
+    /// mirrors hardware where the victim choice is made once per miss.
+    pub fn victim_for(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if set.way_of(block).is_some() || set.free_way().is_some() {
+            return None;
+        }
+        let valid = set.valid_mask();
+        let w = set.policy.victim(&valid, &mut self.rng);
+        Some(set.ways[w].as_ref().unwrap().0)
+    }
+
+    /// Removes `block`, returning its payload.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<L> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        let w = set.way_of(block)?;
+        set.ways[w].take().map(|(_, l)| l)
+    }
+
+    /// Iterates the occupants of the set `block` maps to, as
+    /// `(way, block, payload)` triples. Used by callers that pick victims
+    /// by payload content (the stash directory's private-first policy).
+    pub fn set_occupants(&self, block: BlockAddr) -> impl Iterator<Item = (usize, BlockAddr, &L)> {
+        self.sets[self.set_index(block)]
+            .ways
+            .iter()
+            .enumerate()
+            .filter_map(|(w, slot)| slot.as_ref().map(|(b, l)| (w, *b, l)))
+    }
+
+    /// `true` when the set `block` maps to has no free way and does not
+    /// already contain `block` (i.e. inserting `block` would evict).
+    pub fn would_evict(&self, block: BlockAddr) -> bool {
+        let set = &self.sets[self.set_index(block)];
+        set.way_of(block).is_none() && set.free_way().is_none()
+    }
+
+    /// Iterates every resident `(block, payload)` pair in set order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &L)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.ways.iter().filter_map(|w| w.as_ref()))
+            .map(|(b, l)| (*b, l))
+    }
+
+    /// Removes every block.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                *way = None;
+            }
+        }
+    }
+}
+
+impl<L: std::fmt::Debug> std::fmt::Debug for SetAssoc<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetAssoc")
+            .field("num_sets", &self.num_sets())
+            .field("ways", &self.ways)
+            .field("occupancy", &self.occupancy())
+            .field("repl", &self.repl)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array(sets: usize, ways: usize) -> SetAssoc<u32> {
+        SetAssoc::new(sets, ways, ReplKind::Lru, 1)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = array(4, 2);
+        assert!(a.insert(BlockAddr::new(5), 50).is_none());
+        assert_eq!(a.get(BlockAddr::new(5)), Some(&50));
+        assert_eq!(a.remove(BlockAddr::new(5)), Some(50));
+        assert_eq!(a.get(BlockAddr::new(5)), None);
+        assert_eq!(a.remove(BlockAddr::new(5)), None);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict_lru() {
+        let mut a = array(4, 2);
+        // Blocks 0, 4, 8 all map to set 0.
+        a.insert(BlockAddr::new(0), 0);
+        a.insert(BlockAddr::new(4), 4);
+        a.touch(BlockAddr::new(0)); // 4 becomes LRU
+        let evicted = a.insert(BlockAddr::new(8), 8);
+        assert_eq!(evicted, Some((BlockAddr::new(4), 4)));
+        assert!(a.contains(BlockAddr::new(0)));
+        assert!(a.contains(BlockAddr::new(8)));
+    }
+
+    #[test]
+    fn victim_for_predicts_then_insert_evicts_it() {
+        let mut a = array(1, 4);
+        for i in 0..4 {
+            a.insert(BlockAddr::new(i), i as u32);
+        }
+        let predicted = a.victim_for(BlockAddr::new(9)).unwrap();
+        let evicted = a.insert(BlockAddr::new(9), 9).unwrap().0;
+        assert_eq!(predicted, evicted);
+    }
+
+    #[test]
+    fn victim_for_none_when_room_or_present() {
+        let mut a = array(1, 2);
+        a.insert(BlockAddr::new(1), 1);
+        assert_eq!(a.victim_for(BlockAddr::new(2)), None, "free way exists");
+        a.insert(BlockAddr::new(2), 2);
+        assert_eq!(a.victim_for(BlockAddr::new(1)), None, "already present");
+        assert!(a.victim_for(BlockAddr::new(3)).is_some());
+    }
+
+    #[test]
+    fn occupancy_and_capacity_track_contents() {
+        let mut a = array(4, 2);
+        assert_eq!(a.capacity(), 8);
+        assert_eq!(a.occupancy(), 0);
+        for i in 0..5 {
+            a.insert(BlockAddr::new(i), 0);
+        }
+        assert_eq!(a.occupancy(), 5);
+        a.clear();
+        assert_eq!(a.occupancy(), 0);
+    }
+
+    #[test]
+    fn access_mut_promotes() {
+        let mut a = array(1, 2);
+        a.insert(BlockAddr::new(0), 0);
+        a.insert(BlockAddr::new(1), 1);
+        *a.access_mut(BlockAddr::new(0)).unwrap() = 99; // 1 is now LRU
+        let evicted = a.insert(BlockAddr::new(2), 2).unwrap();
+        assert_eq!(evicted.0, BlockAddr::new(1));
+        assert_eq!(a.get(BlockAddr::new(0)), Some(&99));
+    }
+
+    #[test]
+    fn set_occupants_lists_whole_set() {
+        let mut a = array(2, 2);
+        a.insert(BlockAddr::new(0), 10); // set 0
+        a.insert(BlockAddr::new(2), 20); // set 0
+        a.insert(BlockAddr::new(1), 11); // set 1
+        let set0: Vec<_> = a.set_occupants(BlockAddr::new(0)).collect();
+        assert_eq!(set0.len(), 2);
+        assert!(set0
+            .iter()
+            .any(|&(_, b, &v)| b == BlockAddr::new(0) && v == 10));
+        assert!(set0
+            .iter()
+            .any(|&(_, b, &v)| b == BlockAddr::new(2) && v == 20));
+    }
+
+    #[test]
+    fn would_evict_reports_pressure() {
+        let mut a = array(1, 2);
+        assert!(!a.would_evict(BlockAddr::new(0)));
+        a.insert(BlockAddr::new(0), 0);
+        a.insert(BlockAddr::new(1), 1);
+        assert!(a.would_evict(BlockAddr::new(2)));
+        assert!(!a.would_evict(BlockAddr::new(0)), "already present");
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut a = array(4, 2);
+        for i in 0..6 {
+            a.insert(BlockAddr::new(i), i as u32);
+        }
+        let mut seen: Vec<u64> = a.iter().map(|(b, _)| b.get()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_insert_panics() {
+        let mut a = array(2, 2);
+        a.insert(BlockAddr::new(1), 1);
+        a.insert(BlockAddr::new(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _: SetAssoc<u32> = SetAssoc::new(3, 2, ReplKind::Lru, 0);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut a = array(8, 1);
+        for i in 0..8 {
+            assert!(a.insert(BlockAddr::new(i), i as u32).is_none());
+        }
+        assert_eq!(a.occupancy(), 8);
+    }
+}

@@ -1,0 +1,463 @@
+//! One home node: an LLC bank with its co-located directory slice.
+//!
+//! Blocks are address-interleaved across banks (the low block-address bits
+//! select the bank), so a bank indexes its internal structures with the
+//! *bank-local* block address (global address with the bank bits shifted
+//! out) — otherwise every block arriving at bank *i* would share low bits
+//! and pile into a fraction of the sets.
+
+use stashdir_common::{BankId, BlockAddr, Counter, Cycle, StatSink};
+use stashdir_core::{DirectoryModel, EvictionAction};
+use stashdir_mem::{CacheConfig, CacheStats, SetAssoc};
+use stashdir_protocol::DirView;
+use std::collections::HashMap;
+
+/// One LLC line's bank-side metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcLine {
+    /// Version of the data held (see [`crate::values`]).
+    pub version: u64,
+    /// Differs from DRAM (needs writeback on eviction).
+    pub dirty: bool,
+    /// The stash bit: a directory entry tracking a private copy of this
+    /// block was silently dropped; a hidden copy may exist.
+    pub stash: bool,
+}
+
+/// Per-bank event counters beyond the generic cache stats.
+#[derive(Debug, Default, Clone)]
+pub struct BankStats {
+    /// Demand-triggered discovery rounds.
+    pub discoveries: Counter,
+    /// Discovery rounds that found the hidden copy.
+    pub discoveries_found: Counter,
+    /// Discovery rounds that found nobody (stale stash bit).
+    pub discoveries_stale: Counter,
+    /// Discovery rounds run to evict a stashed LLC line.
+    pub evict_discoveries: Counter,
+    /// LLC evictions that had to recall tracked private copies.
+    pub llc_recalls: Counter,
+    /// Private-cache copies destroyed by LLC eviction (inclusion victims).
+    pub inclusion_invalidations: Counter,
+    /// Invalidation probes sent to enact directory evictions.
+    pub dir_eviction_probes: Counter,
+    /// Stale (raced) Put messages dropped.
+    pub stale_puts: Counter,
+    /// Writebacks accepted from hidden (stash-untracked) owners.
+    pub hidden_writebacks: Counter,
+}
+
+impl BankStats {
+    fn export(&self, prefix: &str, sink: &mut StatSink) {
+        sink.put_counter(format!("{prefix}.discoveries"), self.discoveries);
+        sink.put_counter(
+            format!("{prefix}.discoveries_found"),
+            self.discoveries_found,
+        );
+        sink.put_counter(
+            format!("{prefix}.discoveries_stale"),
+            self.discoveries_stale,
+        );
+        sink.put_counter(
+            format!("{prefix}.evict_discoveries"),
+            self.evict_discoveries,
+        );
+        sink.put_counter(format!("{prefix}.llc_recalls"), self.llc_recalls);
+        sink.put_counter(
+            format!("{prefix}.inclusion_invalidations"),
+            self.inclusion_invalidations,
+        );
+        sink.put_counter(
+            format!("{prefix}.dir_eviction_probes"),
+            self.dir_eviction_probes,
+        );
+        sink.put_counter(format!("{prefix}.stale_puts"), self.stale_puts);
+        sink.put_counter(
+            format!("{prefix}.hidden_writebacks"),
+            self.hidden_writebacks,
+        );
+    }
+
+    /// Adds another bank's counters into this one.
+    pub fn merge(&mut self, other: &BankStats) {
+        self.discoveries.add(other.discoveries.get());
+        self.discoveries_found.add(other.discoveries_found.get());
+        self.discoveries_stale.add(other.discoveries_stale.get());
+        self.evict_discoveries.add(other.evict_discoveries.get());
+        self.llc_recalls.add(other.llc_recalls.get());
+        self.inclusion_invalidations
+            .add(other.inclusion_invalidations.get());
+        self.dir_eviction_probes
+            .add(other.dir_eviction_probes.get());
+        self.stale_puts.add(other.stale_puts.get());
+        self.hidden_writebacks.add(other.hidden_writebacks.get());
+    }
+}
+
+/// An LLC bank plus directory slice.
+pub struct Bank {
+    id: BankId,
+    bank_bits: u32,
+    llc: SetAssoc<LlcLine>,
+    dir: Box<dyn DirectoryModel>,
+    /// Per-block transaction serialization windows.
+    block_busy: HashMap<BlockAddr, Cycle>,
+    /// Bank controller pipeline availability.
+    pub free_at: Cycle,
+    /// LLC hit/miss accounting.
+    pub llc_stats: CacheStats,
+    /// Bank-specific counters.
+    pub stats: BankStats,
+}
+
+impl Bank {
+    /// Builds bank `id` of `2^bank_bits` banks.
+    pub fn new(
+        id: BankId,
+        bank_bits: u32,
+        llc_cfg: &CacheConfig,
+        dir: Box<dyn DirectoryModel>,
+        seed: u64,
+    ) -> Self {
+        Bank {
+            id,
+            bank_bits,
+            llc: SetAssoc::new(llc_cfg.num_sets(), llc_cfg.assoc(), llc_cfg.repl, seed),
+            dir,
+            block_busy: HashMap::new(),
+            free_at: Cycle::ZERO,
+            llc_stats: CacheStats::default(),
+            stats: BankStats::default(),
+        }
+    }
+
+    /// This bank's id.
+    pub fn id(&self) -> BankId {
+        self.id
+    }
+
+    fn local(&self, global: BlockAddr) -> BlockAddr {
+        debug_assert_eq!(
+            global.get() & ((1 << self.bank_bits) - 1),
+            self.id.get() as u64,
+            "block {global} does not belong to {}",
+            self.id
+        );
+        BlockAddr::new(global.get() >> self.bank_bits)
+    }
+
+    fn global(&self, local: BlockAddr) -> BlockAddr {
+        BlockAddr::new((local.get() << self.bank_bits) | self.id.get() as u64)
+    }
+
+    /// When the previous transaction on `block` completes (ZERO if idle).
+    pub fn block_busy_until(&self, block: BlockAddr) -> Cycle {
+        self.block_busy.get(&block).copied().unwrap_or(Cycle::ZERO)
+    }
+
+    /// Extends the serialization window of `block` to `until`.
+    pub fn hold_block(&mut self, block: BlockAddr, until: Cycle) {
+        let slot = self.block_busy.entry(block).or_insert(Cycle::ZERO);
+        *slot = (*slot).max(until);
+    }
+
+    // ---- LLC ----
+
+    /// The LLC line for `block`, if resident (no recency update).
+    pub fn llc_peek(&self, block: BlockAddr) -> Option<&LlcLine> {
+        self.llc.get(self.local(block))
+    }
+
+    /// The LLC line for `block`, recording a hit (recency updated).
+    pub fn llc_access(&mut self, block: BlockAddr) -> Option<&mut LlcLine> {
+        let local = self.local(block);
+        self.llc.access_mut(local)
+    }
+
+    /// Mutable LLC line without recency update (writebacks).
+    pub fn llc_peek_mut(&mut self, block: BlockAddr) -> Option<&mut LlcLine> {
+        let local = self.local(block);
+        self.llc.get_mut(local)
+    }
+
+    /// The block the LLC would evict to make room for `block`, if any.
+    pub fn llc_victim_for(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let local = self.local(block);
+        self.llc.victim_for(local).map(|v| self.global(v))
+    }
+
+    /// Removes an LLC line (eviction), returning it.
+    pub fn llc_remove(&mut self, block: BlockAddr) -> Option<LlcLine> {
+        let local = self.local(block);
+        self.llc.remove(local)
+    }
+
+    /// Inserts a fresh LLC line for `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident or its set is full (the
+    /// caller must evict the victim from [`llc_victim_for`] first, because
+    /// eviction has protocol side effects).
+    ///
+    /// [`llc_victim_for`]: Bank::llc_victim_for
+    pub fn llc_insert(&mut self, block: BlockAddr, line: LlcLine) {
+        let local = self.local(block);
+        assert!(
+            !self.llc.would_evict(local),
+            "LLC victim for {block} must be evicted by the caller first"
+        );
+        let none = self.llc.insert(local, line);
+        debug_assert!(none.is_none());
+    }
+
+    /// The stash bit of `block`'s LLC line (`false` when not resident).
+    pub fn stash_bit(&self, block: BlockAddr) -> bool {
+        self.llc_peek(block).is_some_and(|l| l.stash)
+    }
+
+    /// Sets or clears the stash bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when setting the bit on a non-resident line (the stash bit
+    /// lives in the LLC line; LLC inclusion guarantees residence).
+    pub fn set_stash_bit(&mut self, block: BlockAddr, value: bool) {
+        match self.llc_peek_mut(block) {
+            Some(line) => line.stash = value,
+            None => assert!(!value, "stash bit for non-resident line {block}"),
+        }
+    }
+
+    /// Snapshot of all resident LLC lines (global addresses).
+    pub fn llc_entries(&self) -> Vec<(BlockAddr, LlcLine)> {
+        self.llc.iter().map(|(b, l)| (self.global(b), *l)).collect()
+    }
+
+    // ---- Directory slice ----
+
+    /// The directory's view of `block` ([`DirView::Untracked`] when no
+    /// entry exists).
+    pub fn dir_view(&self, block: BlockAddr) -> DirView {
+        self.dir
+            .lookup(self.local(block))
+            .unwrap_or(DirView::Untracked)
+    }
+
+    /// Installs a view, translating the eviction action back to global
+    /// addresses.
+    pub fn dir_install(&mut self, block: BlockAddr, view: DirView) -> EvictionAction {
+        match self.dir.install(self.local(block), view) {
+            EvictionAction::None => EvictionAction::None,
+            EvictionAction::Silent { block, owner } => EvictionAction::Silent {
+                block: self.global(block),
+                owner,
+            },
+            EvictionAction::Invalidate { block, view } => EvictionAction::Invalidate {
+                block: self.global(block),
+                view,
+            },
+        }
+    }
+
+    /// Untracks `block`.
+    pub fn dir_remove(&mut self, block: BlockAddr) {
+        self.dir.remove(self.local(block));
+    }
+
+    /// Snapshot of directory entries (global addresses).
+    pub fn dir_entries(&self) -> Vec<(BlockAddr, DirView)> {
+        self.dir
+            .entries()
+            .into_iter()
+            .map(|(b, v)| (self.global(b), v))
+            .collect()
+    }
+
+    /// The directory slice itself (stats, capacity).
+    pub fn dir(&self) -> &dyn DirectoryModel {
+        self.dir.as_ref()
+    }
+
+    /// Exports LLC, directory and bank counters under `prefix.`.
+    pub fn export(&self, prefix: &str, sink: &mut StatSink) {
+        self.llc_stats.export(&format!("{prefix}.llc"), sink);
+        self.dir.stats().export(&format!("{prefix}.dir"), sink);
+        self.stats.export(prefix, sink);
+        sink.put(
+            format!("{prefix}.dir.occupancy"),
+            self.dir.occupancy() as f64,
+        );
+    }
+}
+
+impl std::fmt::Debug for Bank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bank")
+            .field("id", &self.id)
+            .field("dir", &self.dir.name())
+            .field("llc_occupancy", &self.llc.occupancy())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stashdir_common::CoreId;
+    use stashdir_core::DirConfig;
+    use stashdir_mem::ReplKind;
+
+    fn bank() -> Bank {
+        // 4 banks; this is bank 1. LLC bank: 8 sets x 2 ways.
+        let llc = CacheConfig::new(1024, 2, 64, 1, ReplKind::Lru);
+        Bank::new(BankId::new(1), 2, &llc, DirConfig::stash(4, 2).build(9), 3)
+    }
+
+    /// A block owned by bank 1 (low 2 bits = 01).
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::new(i * 4 + 1)
+    }
+
+    #[test]
+    fn llc_roundtrip_uses_local_indexing() {
+        let mut b = bank();
+        // 17 blocks of bank 1 must spread over all 8 sets, not one.
+        for i in 0..16 {
+            if let Some(v) = b.llc_victim_for(blk(i)) {
+                b.llc_remove(v);
+            }
+            b.llc_insert(
+                blk(i),
+                LlcLine {
+                    version: i,
+                    dirty: false,
+                    stash: false,
+                },
+            );
+        }
+        // 8 sets x 2 ways = 16 lines; all 16 distinct blocks fit exactly.
+        assert_eq!(b.llc_entries().len(), 16);
+        assert_eq!(b.llc_peek(blk(3)).unwrap().version, 3);
+    }
+
+    #[test]
+    fn llc_entries_report_global_addresses() {
+        let mut b = bank();
+        b.llc_insert(
+            blk(5),
+            LlcLine {
+                version: 0,
+                dirty: false,
+                stash: false,
+            },
+        );
+        assert_eq!(b.llc_entries()[0].0, blk(5));
+    }
+
+    #[test]
+    fn stash_bit_lifecycle() {
+        let mut b = bank();
+        b.llc_insert(
+            blk(0),
+            LlcLine {
+                version: 0,
+                dirty: false,
+                stash: false,
+            },
+        );
+        assert!(!b.stash_bit(blk(0)));
+        b.set_stash_bit(blk(0), true);
+        assert!(b.stash_bit(blk(0)));
+        b.set_stash_bit(blk(0), false);
+        assert!(!b.stash_bit(blk(0)));
+        assert!(!b.stash_bit(blk(9)), "absent line has no stash bit");
+        b.set_stash_bit(blk(9), false); // clearing absent is a no-op
+    }
+
+    #[test]
+    fn dir_view_defaults_to_untracked() {
+        let mut b = bank();
+        assert_eq!(b.dir_view(blk(0)), DirView::Untracked);
+        b.dir_install(blk(0), DirView::Exclusive(CoreId::new(2)));
+        assert_eq!(b.dir_view(blk(0)), DirView::Exclusive(CoreId::new(2)));
+        b.dir_remove(blk(0));
+        assert_eq!(b.dir_view(blk(0)), DirView::Untracked);
+    }
+
+    #[test]
+    fn dir_eviction_actions_are_globalized() {
+        let mut b = bank();
+        // Fill one dir set (4 sets x 2 ways; local addr = global >> 2).
+        // blk(0) -> local 1, blk(4) -> local... choose conflicting blocks:
+        // local addresses with the same low 2 bits of the slice's 4 sets.
+        let conflicting: Vec<BlockAddr> = (0..3)
+            .map(|i| BlockAddr::new(((i * 4) << 2) | 1)) // locals 0,4,8 -> set 0
+            .collect();
+        b.dir_install(conflicting[0], DirView::Exclusive(CoreId::new(0)));
+        b.dir_install(conflicting[1], DirView::Exclusive(CoreId::new(1)));
+        match b.dir_install(conflicting[2], DirView::Exclusive(CoreId::new(2))) {
+            EvictionAction::Silent { block, owner } => {
+                assert_eq!(block, conflicting[0], "global address restored");
+                assert_eq!(owner, CoreId::new(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_busy_windows() {
+        let mut b = bank();
+        assert_eq!(b.block_busy_until(blk(0)), Cycle::ZERO);
+        b.hold_block(blk(0), Cycle::new(100));
+        b.hold_block(blk(0), Cycle::new(50)); // never shrinks
+        assert_eq!(b.block_busy_until(blk(0)), Cycle::new(100));
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert is compiled out in release"
+    )]
+    #[should_panic(expected = "does not belong")]
+    fn wrong_bank_block_panics_in_debug() {
+        let b = bank();
+        let _ = b.llc_peek(BlockAddr::new(2)); // bank 2's block
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted by the caller")]
+    fn llc_insert_requires_prior_eviction() {
+        let mut b = bank();
+        // Fill set 0 of the LLC (locals 0 and 8 -> same set).
+        for local in [0u64, 8] {
+            b.llc_insert(
+                BlockAddr::new((local << 2) | 1),
+                LlcLine {
+                    version: 0,
+                    dirty: false,
+                    stash: false,
+                },
+            );
+        }
+        b.llc_insert(
+            BlockAddr::new((16u64 << 2) | 1),
+            LlcLine {
+                version: 0,
+                dirty: false,
+                stash: false,
+            },
+        );
+    }
+
+    #[test]
+    fn export_has_all_sections() {
+        let b = bank();
+        let mut sink = StatSink::new();
+        b.export("bank1", &mut sink);
+        assert!(sink.get("bank1.llc.hits").is_some());
+        assert!(sink.get("bank1.dir.silent_evictions").is_some());
+        assert!(sink.get("bank1.discoveries").is_some());
+        assert!(sink.get("bank1.dir.occupancy").is_some());
+    }
+}

@@ -1,0 +1,379 @@
+//! Machine-wide coherence and consistency invariants.
+//!
+//! The checker runs over a quiesced machine snapshot — which, under the
+//! simulator's program-order discipline, is *every* point between event
+//! handlers — and verifies the invariants DESIGN.md commits to:
+//!
+//! * **I1/I2 (directory coverage)**: every valid private copy is named by
+//!   its home directory entry, or (stash directory only) hidden under a
+//!   set stash bit.
+//! * **I3 (single writer)**: at most one E/M copy of a block exists, and
+//!   it excludes all other valid copies.
+//! * **I4 (LLC inclusion)**: every valid private copy is LLC-resident at
+//!   its home.
+//! * **I5 (value correctness)**: every valid private copy holds the
+//!   latest written version, and the latest version is reachable (some
+//!   copy, parked writeback, LLC line or DRAM holds it).
+//! * **I6 (liveness, final only)**: every core retired its whole trace
+//!   and no writebacks are left parked.
+//! * **I7 (L1 inclusion)**: each core's L1 content is a subset of its L2
+//!   content.
+//! * **Stash discipline**: a set stash bit implies the block is untracked
+//!   at its home.
+
+use crate::machine::Machine;
+use stashdir_common::{BlockAddr, CoreId};
+use stashdir_protocol::{DirView, PrivState};
+use std::collections::{HashMap, HashSet};
+
+/// Runs every invariant over `machine`, returning human-readable
+/// violation descriptions (empty = clean). `final_check` additionally
+/// verifies liveness (I6).
+pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
+    let mut problems = Vec::new();
+    let uses_stash = machine.config().dir.uses_stash();
+
+    // Gather every valid private copy: block -> [(core, state, version)].
+    let mut copies: HashMap<BlockAddr, Vec<(CoreId, PrivState, u64)>> = HashMap::new();
+    for hier in &machine.privs {
+        let core = hier.core();
+        // I7: L1 ⊆ L2.
+        let l2_blocks: HashSet<BlockAddr> = hier.l2_entries().iter().map(|(b, _)| *b).collect();
+        for l1_block in hier.l1_blocks() {
+            if !l2_blocks.contains(&l1_block) {
+                problems.push(format!("I7: {core} holds {l1_block} in L1 but not L2"));
+            }
+        }
+        for (block, line) in hier.l2_entries() {
+            copies
+                .entry(block)
+                .or_default()
+                .push((core, line.state, line.version));
+        }
+    }
+
+    for (&block, holders) in &copies {
+        let home = machine.home(block);
+        let bank = &machine.banks[home.index()];
+        let view = bank.dir_view(block);
+        let stash = bank.stash_bit(block);
+        let llc_resident = bank.llc_peek(block).is_some();
+
+        // I3: single writer.
+        let exclusive_holders: Vec<CoreId> = holders
+            .iter()
+            .filter(|(_, s, _)| s.is_exclusive())
+            .map(|(c, _, _)| *c)
+            .collect();
+        if exclusive_holders.len() > 1 {
+            problems.push(format!(
+                "I3: {block} has multiple exclusive holders: {exclusive_holders:?}"
+            ));
+        }
+        if !exclusive_holders.is_empty() && holders.len() > 1 {
+            problems.push(format!(
+                "I3: {block} has an exclusive copy at {} alongside {} other copies",
+                exclusive_holders[0],
+                holders.len() - 1
+            ));
+        }
+
+        // I4: LLC inclusion.
+        if !llc_resident {
+            problems.push(format!(
+                "I4: {block} cached privately but not resident in {home}'s LLC"
+            ));
+        }
+
+        // I1/I2: directory coverage per holder, plus state agreement.
+        for (core, state, _) in holders {
+            let covered = match &view {
+                DirView::Untracked => false,
+                DirView::Exclusive(owner) => owner == core,
+                DirView::Shared(set) => set.contains(*core),
+            };
+            let hidden = uses_stash && stash;
+            if !covered && !hidden {
+                problems.push(format!(
+                    "I1/I2: {core} holds {block} ({state}) but {home} tracks {view} with stash={stash}"
+                ));
+            }
+            if covered && state.is_exclusive() && !matches!(view, DirView::Exclusive(_)) {
+                problems.push(format!(
+                    "I1: {core} holds {block} in {state} but {home} tracks it as {view}"
+                ));
+            }
+        }
+
+        // I5: every valid copy holds the latest version.
+        let latest = machine.values.latest(block);
+        for (core, state, version) in holders {
+            if *version != latest {
+                problems.push(format!(
+                    "I5: {core} holds {block} ({state}) at version {version}, latest is {latest}"
+                ));
+            }
+        }
+    }
+
+    // Stash discipline + I5 reachability, scanned from the banks.
+    for bank in &machine.banks {
+        for (block, line) in bank.llc_entries() {
+            if line.stash {
+                if !uses_stash {
+                    problems.push(format!(
+                        "stash: {block} has a stash bit under a non-stash directory"
+                    ));
+                }
+                if bank.dir_view(block) != DirView::Untracked {
+                    problems.push(format!(
+                        "stash: {block} is tracked yet keeps its stash bit set"
+                    ));
+                }
+            }
+        }
+        // Directory entries must point at resident LLC lines (inclusion
+        // seen from the home side).
+        for (block, _) in bank.dir_entries() {
+            if bank.llc_peek(block).is_none() {
+                problems.push(format!(
+                    "I4: {} tracks {block} without an LLC line",
+                    bank.id()
+                ));
+            }
+        }
+    }
+
+    // I5 reachability: the latest version of every written block exists
+    // somewhere.
+    let mut wb_versions: HashMap<BlockAddr, u64> = HashMap::new();
+    for hier in &machine.privs {
+        for (block, entry) in hier.wb_entries() {
+            let best = wb_versions.entry(block).or_insert(0);
+            *best = (*best).max(entry.version);
+        }
+    }
+    for (block, latest) in machine.values.written_blocks() {
+        let in_copies = copies
+            .get(&block)
+            .map(|hs| hs.iter().any(|(_, _, v)| *v == latest))
+            .unwrap_or(false);
+        let in_wb = wb_versions.get(&block).copied().unwrap_or(0) == latest;
+        let in_llc = machine.banks[machine.home(block).index()]
+            .llc_peek(block)
+            .is_some_and(|l| l.version == latest);
+        let in_dram = machine.dram_store.get(&block).copied().unwrap_or(0) == latest;
+        if !(in_copies || in_wb || in_llc || in_dram) {
+            problems.push(format!(
+                "I5: latest version {latest} of {block} is unreachable (lost write)"
+            ));
+        }
+    }
+
+    // I6: liveness (final only).
+    if final_check {
+        for (i, core) in machine.cores.iter().enumerate() {
+            if core.pc < core.trace.len() || core.pending.is_some() || core.finish.is_none() {
+                problems.push(format!(
+                    "I6: core{i} did not retire its trace (pc {}/{}, pending={})",
+                    core.pc,
+                    core.trace.len(),
+                    core.pending.is_some()
+                ));
+            }
+        }
+        for hier in &machine.privs {
+            if !hier.wb_entries().is_empty() {
+                problems.push(format!(
+                    "I6: {} still has parked writebacks at end of run",
+                    hier.core()
+                ));
+            }
+        }
+    }
+
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::LlcLine;
+    use crate::config::{CoverageRatio, DirSpec, SystemConfig};
+    use crate::machine::Machine;
+    use stashdir_common::BlockAddr;
+    use stashdir_protocol::Grant;
+
+    /// A fresh, empty machine whose state the tests corrupt by hand.
+    fn machine(dir: DirSpec) -> Machine {
+        use stashdir_mem::{CacheConfig, ReplKind};
+        let cfg = SystemConfig {
+            cores: 4,
+            l1: CacheConfig::new(256, 2, 64, 1, ReplKind::Lru),
+            l2: CacheConfig::new(512, 2, 64, 4, ReplKind::Lru),
+            llc_bank: CacheConfig::new(1024, 2, 64, 8, ReplKind::Lru),
+            dir,
+            ..SystemConfig::default()
+        };
+        Machine::new(cfg)
+    }
+
+    fn stash_machine() -> Machine {
+        machine(DirSpec::stash(CoverageRatio::new(1, 8)))
+    }
+
+    /// Installs a fully consistent single-owner block: LLC line, directory
+    /// entry and private copy all agree.
+    fn install_consistent(m: &mut Machine, block: BlockAddr, core: u16) {
+        let home = m.home(block);
+        m.banks[home.index()].llc_insert(
+            block,
+            LlcLine {
+                version: 0,
+                dirty: false,
+                stash: false,
+            },
+        );
+        m.banks[home.index()].dir_install(block, DirView::Exclusive(CoreId::new(core)));
+        m.privs[core as usize].fill(block, Grant::Exclusive, 0);
+    }
+
+    #[test]
+    fn clean_machine_passes() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        install_consistent(&mut m, BlockAddr::new(1), 1);
+        assert!(check(&m, false).is_empty());
+    }
+
+    #[test]
+    fn detects_untracked_private_copy() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        let home = m.home(BlockAddr::new(0));
+        m.banks[home.index()].dir_remove(BlockAddr::new(0));
+        let problems = check(&m, false);
+        assert!(
+            problems.iter().any(|p| p.starts_with("I1/I2")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn stash_bit_excuses_untracked_copy() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        let home = m.home(BlockAddr::new(0));
+        m.banks[home.index()].dir_remove(BlockAddr::new(0));
+        m.banks[home.index()].set_stash_bit(BlockAddr::new(0), true);
+        assert!(check(&m, false).is_empty(), "hidden copies are legal");
+    }
+
+    #[test]
+    fn stash_bit_does_not_excuse_under_sparse() {
+        let mut m = machine(DirSpec::sparse(CoverageRatio::new(1, 8)));
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        let home = m.home(BlockAddr::new(0));
+        m.banks[home.index()].dir_remove(BlockAddr::new(0));
+        m.banks[home.index()].set_stash_bit(BlockAddr::new(0), true);
+        let problems = check(&m, false);
+        assert!(problems.iter().any(|p| p.starts_with("I1/I2")));
+        assert!(
+            problems.iter().any(|p| p.contains("non-stash")),
+            "a sparse machine must not carry stash bits: {problems:?}"
+        );
+    }
+
+    #[test]
+    fn detects_double_exclusive_owners() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        // A second core conjures an exclusive copy out of thin air.
+        m.privs[1].fill(BlockAddr::new(0), Grant::Modified, 0);
+        let problems = check(&m, false);
+        assert!(problems.iter().any(|p| p.starts_with("I3")), "{problems:?}");
+    }
+
+    #[test]
+    fn detects_missing_llc_line() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        let home = m.home(BlockAddr::new(0));
+        m.banks[home.index()].llc_remove(BlockAddr::new(0));
+        let problems = check(&m, false);
+        assert!(problems.iter().any(|p| p.starts_with("I4")), "{problems:?}");
+    }
+
+    #[test]
+    fn detects_stale_copy_version() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        // The tracker believes a newer write exists somewhere.
+        let v = m.values.on_write(CoreId::new(1), BlockAddr::new(0));
+        assert!(v > 0);
+        let problems = check(&m, false);
+        assert!(problems.iter().any(|p| p.starts_with("I5")), "{problems:?}");
+    }
+
+    #[test]
+    fn detects_lost_latest_write() {
+        let mut m = stash_machine();
+        // A write happened but no location holds its version.
+        m.values.on_write(CoreId::new(0), BlockAddr::new(7));
+        let problems = check(&m, false);
+        assert!(
+            problems.iter().any(|p| p.contains("lost write")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn latest_in_dram_is_reachable() {
+        let mut m = stash_machine();
+        let v = m.values.on_write(CoreId::new(0), BlockAddr::new(7));
+        m.dram_store.insert(BlockAddr::new(7), v);
+        assert!(check(&m, false).is_empty());
+    }
+
+    #[test]
+    fn detects_tracked_block_with_stash_bit() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        let home = m.home(BlockAddr::new(0));
+        m.banks[home.index()].set_stash_bit(BlockAddr::new(0), true);
+        let problems = check(&m, false);
+        assert!(
+            problems.iter().any(|p| p.contains("keeps its stash bit")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn detects_directory_entry_without_llc_line() {
+        let mut m = stash_machine();
+        let block = BlockAddr::new(0);
+        let home = m.home(block);
+        m.banks[home.index()].dir_install(block, DirView::Exclusive(CoreId::new(0)));
+        let problems = check(&m, false);
+        assert!(
+            problems.iter().any(|p| p.contains("without an LLC line")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn detects_exclusive_copy_tracked_as_shared() {
+        let mut m = stash_machine();
+        install_consistent(&mut m, BlockAddr::new(0), 0);
+        let home = m.home(BlockAddr::new(0));
+        let mut sharers = stashdir_common::SharerSet::new(4);
+        sharers.insert(CoreId::new(0));
+        sharers.insert(CoreId::new(1));
+        m.banks[home.index()].dir_install(BlockAddr::new(0), DirView::Shared(sharers));
+        let problems = check(&m, false);
+        assert!(
+            problems.iter().any(|p| p.contains("tracks it as")),
+            "{problems:?}"
+        );
+    }
+}

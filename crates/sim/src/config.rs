@@ -1,0 +1,518 @@
+//! System configuration: the reconstructed 16-core CMP of the paper,
+//! parameterized for sweeps.
+
+use serde::{Deserialize, Serialize};
+use stashdir_core::{CostParams, DirConfig, DirReplPolicy, SharerFormat};
+use stashdir_mem::{CacheConfig, DramConfig, ReplKind};
+use stashdir_noc::{Mesh, NocConfig};
+use std::fmt;
+
+/// Directory provisioning relative to the aggregate private-cache capacity
+/// it must track.
+///
+/// A coverage of 1 means one directory entry per private L2 block
+/// chip-wide; the paper's headline configuration is stash at **1/8**.
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_sim::CoverageRatio;
+/// assert_eq!(CoverageRatio::new(1, 8).entries_for(4096), 512);
+/// assert_eq!(CoverageRatio::FULL.entries_for(4096), 4096);
+/// assert_eq!(format!("{}", CoverageRatio::new(1, 8)), "1/8");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoverageRatio {
+    num: u32,
+    den: u32,
+}
+
+impl CoverageRatio {
+    /// One entry per tracked block (1×).
+    pub const FULL: CoverageRatio = CoverageRatio { num: 1, den: 1 };
+
+    /// Creates a `num/den` coverage ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is zero.
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(num > 0 && den > 0, "coverage ratio must be positive");
+        CoverageRatio { num, den }
+    }
+
+    /// The ratio as a float.
+    pub fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Number of directory entries for `tracked_blocks` blocks of private
+    /// cache (rounded down, at least 1).
+    pub fn entries_for(self, tracked_blocks: usize) -> usize {
+        ((tracked_blocks * self.num as usize) / self.den as usize).max(1)
+    }
+
+    /// The sweep used throughout the evaluation: 2, 1, 1/2, 1/4, 1/8, 1/16.
+    pub fn sweep() -> Vec<CoverageRatio> {
+        vec![
+            CoverageRatio::new(2, 1),
+            CoverageRatio::new(1, 1),
+            CoverageRatio::new(1, 2),
+            CoverageRatio::new(1, 4),
+            CoverageRatio::new(1, 8),
+            CoverageRatio::new(1, 16),
+        ]
+    }
+}
+
+impl fmt::Display for CoverageRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Which directory organization the machine uses, plus its provisioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirSpec {
+    /// The unbounded ideal.
+    FullMap,
+    /// Conventional sparse directory at the given coverage/associativity.
+    Sparse {
+        /// Entries relative to tracked private blocks.
+        coverage: CoverageRatio,
+        /// Ways per directory set.
+        assoc: usize,
+        /// Victim selection.
+        repl: DirReplPolicy,
+    },
+    /// The paper's stash directory at the given coverage/associativity.
+    Stash {
+        /// Entries relative to tracked private blocks.
+        coverage: CoverageRatio,
+        /// Ways per directory set.
+        assoc: usize,
+        /// Victim selection.
+        repl: DirReplPolicy,
+    },
+    /// Cuckoo directory at the given coverage.
+    Cuckoo {
+        /// Entries relative to tracked private blocks.
+        coverage: CoverageRatio,
+    },
+}
+
+impl DirSpec {
+    /// Shorthand for a stash directory with the paper's defaults
+    /// (8-way, private-first LRU).
+    pub fn stash(coverage: CoverageRatio) -> Self {
+        DirSpec::Stash {
+            coverage,
+            assoc: 8,
+            repl: DirReplPolicy::PrivateFirstLru,
+        }
+    }
+
+    /// Shorthand for a conventional sparse directory (8-way, LRU).
+    pub fn sparse(coverage: CoverageRatio) -> Self {
+        DirSpec::Sparse {
+            coverage,
+            assoc: 8,
+            repl: DirReplPolicy::Lru,
+        }
+    }
+
+    /// The organization's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirSpec::FullMap => "fullmap",
+            DirSpec::Sparse { .. } => "sparse",
+            DirSpec::Stash { .. } => "stash",
+            DirSpec::Cuckoo { .. } => "cuckoo",
+        }
+    }
+
+    /// `true` when the machine must maintain LLC stash bits and run
+    /// discovery.
+    pub fn uses_stash(&self) -> bool {
+        matches!(self, DirSpec::Stash { .. })
+    }
+
+    /// Resolves to a per-slice [`DirConfig`] given the number of private
+    /// blocks each slice must cover. Set counts round up to a power of
+    /// two.
+    pub fn slice_config(&self, tracked_blocks_per_slice: usize) -> DirConfig {
+        match *self {
+            DirSpec::FullMap => DirConfig::full_map(),
+            DirSpec::Sparse {
+                coverage,
+                assoc,
+                repl,
+            } => {
+                let (sets, ways) = geometry(coverage.entries_for(tracked_blocks_per_slice), assoc);
+                DirConfig::sparse(sets, ways).with_repl(repl)
+            }
+            DirSpec::Stash {
+                coverage,
+                assoc,
+                repl,
+            } => {
+                let (sets, ways) = geometry(coverage.entries_for(tracked_blocks_per_slice), assoc);
+                DirConfig::stash(sets, ways).with_repl(repl)
+            }
+            DirSpec::Cuckoo { coverage } => {
+                let entries = coverage.entries_for(tracked_blocks_per_slice);
+                // Keep 4 tables of equal size.
+                DirConfig::cuckoo((entries / 4).max(1) * 4)
+            }
+        }
+    }
+}
+
+/// Rounds `entries` into a power-of-two set count at fixed associativity.
+fn geometry(entries: usize, assoc: usize) -> (usize, usize) {
+    let sets = (entries / assoc).max(1).next_power_of_two();
+    (sets, assoc)
+}
+
+impl fmt::Display for DirSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirSpec::FullMap => write!(f, "fullmap"),
+            DirSpec::Sparse {
+                coverage, assoc, ..
+            } => write!(f, "sparse@{coverage}x{assoc}w"),
+            DirSpec::Stash {
+                coverage, assoc, ..
+            } => write!(f, "stash@{coverage}x{assoc}w"),
+            DirSpec::Cuckoo { coverage } => write!(f, "cuckoo@{coverage}"),
+        }
+    }
+}
+
+/// Full machine configuration.
+///
+/// The default reproduces the paper's 16-core model (see `DESIGN.md` E1).
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_sim::{CoverageRatio, DirSpec, SystemConfig};
+///
+/// let cfg = SystemConfig::default()
+///     .with_dir(DirSpec::stash(CoverageRatio::new(1, 8)));
+/// assert_eq!(cfg.cores, 16);
+/// assert_eq!(cfg.dir.name(), "stash");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores = tiles = LLC banks (power of two).
+    pub cores: u16,
+    /// Coherence block size in bytes.
+    pub block_bytes: u64,
+    /// Per-core private L1.
+    pub l1: CacheConfig,
+    /// Per-core private L2 (the coherence point; inclusive of L1).
+    pub l2: CacheConfig,
+    /// Per-tile LLC bank (the shared LLC is `cores ×` this).
+    pub llc_bank: CacheConfig,
+    /// Directory organization and provisioning.
+    pub dir: DirSpec,
+    /// Sharer-set encoding for set-associative directories (full-map
+    /// vector vs limited pointers with broadcast on overflow).
+    pub sharer_format: SharerFormat,
+    /// Directory slice access latency (cycles).
+    pub dir_latency: u64,
+    /// Bank pipeline occupancy per transaction (cycles): the throughput
+    /// limit of one home's directory+LLC controller.
+    pub bank_occupancy: u64,
+    /// On-chip network.
+    pub noc: NocConfig,
+    /// Off-chip memory.
+    pub dram: DramConfig,
+    /// Private caches notify the home on clean evictions (`PutS`/`PutE`).
+    /// When `false`, clean evictions are silent and directories accumulate
+    /// stale entries (an ablation).
+    pub notify_clean_evictions: bool,
+    /// Run the full invariant checker every this many completed
+    /// transactions (`0` = only at end of run).
+    pub check_interval: u64,
+    /// Record a [`TimelineSample`] every this many cycles (`0` = off).
+    ///
+    /// [`TimelineSample`]: crate::report::TimelineSample
+    pub timeline_interval: u64,
+    /// Seed for every stochastic policy in the machine.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    /// The reconstructed 16-core HPCA-2014 model: 32 KiB 4-way L1 (1 cyc),
+    /// 256 KiB 8-way L2 (8 cyc), 1 MiB 16-way LLC bank (24 cyc), stash
+    /// directory at 1× coverage, 4×4 mesh at 3 cyc/hop, 160-cycle DRAM.
+    fn default() -> Self {
+        SystemConfig {
+            cores: 16,
+            block_bytes: 64,
+            l1: CacheConfig::new(32 * 1024, 4, 64, 1, ReplKind::Lru),
+            l2: CacheConfig::new(256 * 1024, 8, 64, 8, ReplKind::Lru),
+            llc_bank: CacheConfig::new(1024 * 1024, 16, 64, 24, ReplKind::Lru),
+            dir: DirSpec::stash(CoverageRatio::FULL),
+            sharer_format: SharerFormat::FullMap,
+            dir_latency: 2,
+            bank_occupancy: 4,
+            noc: NocConfig::default(),
+            dram: DramConfig::default(),
+            notify_clean_evictions: true,
+            check_interval: 0,
+            timeline_interval: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if core count is not a positive power of two, block sizes
+    /// disagree across levels, or the L2 is not larger than the L1.
+    pub fn validate(&self) {
+        assert!(
+            self.cores > 0 && self.cores.is_power_of_two(),
+            "core count must be a positive power of two, got {}",
+            self.cores
+        );
+        for (name, c) in [("l1", &self.l1), ("l2", &self.l2), ("llc", &self.llc_bank)] {
+            assert_eq!(
+                c.block_bytes(),
+                self.block_bytes,
+                "{name} block size disagrees with system block size"
+            );
+        }
+        assert!(
+            self.l2.size_bytes() >= self.l1.size_bytes(),
+            "L2 must be at least as large as L1 (inclusive hierarchy)"
+        );
+    }
+
+    /// Replaces the directory spec.
+    pub fn with_dir(mut self, dir: DirSpec) -> Self {
+        self.dir = dir;
+        self
+    }
+
+    /// Replaces the core count (mesh resizes to match).
+    pub fn with_cores(mut self, cores: u16) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables periodic paranoid invariant checking.
+    pub fn with_check_interval(mut self, every_transactions: u64) -> Self {
+        self.check_interval = every_transactions;
+        self
+    }
+
+    /// Enables time-series sampling every `cycles` cycles.
+    pub fn with_timeline(mut self, cycles: u64) -> Self {
+        self.timeline_interval = cycles;
+        self
+    }
+
+    /// The mesh carrying this machine's tiles.
+    pub fn mesh(&self) -> Mesh {
+        Mesh::for_nodes(self.cores)
+    }
+
+    /// Private blocks each directory slice must cover: the per-core L2
+    /// capacity (one slice per core; L1 content is a subset of L2).
+    pub fn tracked_blocks_per_slice(&self) -> usize {
+        self.l2.num_blocks()
+    }
+
+    /// The resolved per-slice directory configuration.
+    pub fn dir_slice(&self) -> DirConfig {
+        self.dir
+            .slice_config(self.tracked_blocks_per_slice())
+            .with_sharer_format(self.sharer_format)
+    }
+
+    /// LLC lines chip-wide.
+    pub fn llc_lines(&self) -> u64 {
+        self.llc_bank.num_blocks() as u64 * self.cores as u64
+    }
+
+    /// Cost-model parameters for this machine (48-bit physical address
+    /// space).
+    pub fn cost_params(&self) -> CostParams {
+        let slice = self.dir_slice();
+        let sets = match slice.kind {
+            stashdir_core::DirKind::Sparse { sets, .. }
+            | stashdir_core::DirKind::Stash { sets, .. } => sets,
+            _ => 1,
+        };
+        CostParams {
+            tag_bits: CostParams::tag_bits_for(48, self.block_bytes, sets),
+            cores: self.cores,
+            llc_lines: self.llc_lines(),
+        }
+    }
+
+    /// Renders the configuration as `(parameter, value)` rows — the
+    /// "Table 1: system configuration" of the paper.
+    pub fn table(&self) -> Vec<(String, String)> {
+        let slice = self.dir_slice();
+        vec![
+            ("cores".into(), self.cores.to_string()),
+            ("mesh".into(), self.mesh().to_string()),
+            ("block".into(), format!("{}B", self.block_bytes)),
+            ("L1 (private)".into(), self.l1.to_string()),
+            ("L2 (private)".into(), self.l2.to_string()),
+            ("LLC bank (shared)".into(), self.llc_bank.to_string()),
+            (
+                "LLC total".into(),
+                format!(
+                    "{}MiB inclusive",
+                    self.llc_bank.size_bytes() * self.cores as u64 / (1024 * 1024)
+                ),
+            ),
+            ("directory".into(), format!("{} ({slice})", self.dir)),
+            (
+                "dir entries/slice".into(),
+                if slice.entries() == usize::MAX {
+                    "unbounded".into()
+                } else {
+                    slice.entries().to_string()
+                },
+            ),
+            ("dir latency".into(), format!("{} cyc", self.dir_latency)),
+            (
+                "NoC".into(),
+                format!(
+                    "{} cyc/hop, contention={}",
+                    self.noc.hop_latency, self.noc.model_contention
+                ),
+            ),
+            (
+                "DRAM".into(),
+                format!(
+                    "{} cyc, {} ch, {} cyc/access",
+                    self.dram.latency, self.dram.channels, self.dram.service_time
+                ),
+            ),
+            (
+                "clean-eviction notify".into(),
+                self.notify_clean_evictions.to_string(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_machine() {
+        let cfg = SystemConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.cores, 16);
+        assert_eq!(cfg.l2.num_blocks(), 4096);
+        assert_eq!(cfg.tracked_blocks_per_slice(), 4096);
+        assert_eq!(cfg.llc_lines(), 16 * 16384);
+    }
+
+    #[test]
+    fn coverage_entries() {
+        assert_eq!(CoverageRatio::new(2, 1).entries_for(4096), 8192);
+        assert_eq!(CoverageRatio::new(1, 16).entries_for(4096), 256);
+        assert_eq!(CoverageRatio::new(1, 100).entries_for(10), 1, "floor of 1");
+        assert!((CoverageRatio::new(1, 2).as_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_descending() {
+        let sweep = CoverageRatio::sweep();
+        assert_eq!(sweep.len(), 6);
+        let vals: Vec<f64> = sweep.iter().map(|c| c.as_f64()).collect();
+        assert!(vals.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn slice_config_geometry() {
+        // 4096 tracked blocks at 1/8 coverage, 8-way: 512 entries = 64 sets.
+        let spec = DirSpec::stash(CoverageRatio::new(1, 8));
+        let cfg = spec.slice_config(4096);
+        assert_eq!(cfg.entries(), 512);
+        assert_eq!(cfg.name(), "stash");
+    }
+
+    #[test]
+    fn slice_config_rounds_sets_to_power_of_two() {
+        let spec = DirSpec::sparse(CoverageRatio::new(1, 3));
+        let cfg = spec.slice_config(4096); // 1365 entries -> 1024/2048 region
+        if let stashdir_core::DirKind::Sparse { sets, .. } = cfg.kind {
+            assert!(sets.is_power_of_two());
+        } else {
+            panic!("expected sparse");
+        }
+    }
+
+    #[test]
+    fn cuckoo_slice_is_multiple_of_tables() {
+        let cfg = DirSpec::Cuckoo {
+            coverage: CoverageRatio::new(1, 8),
+        }
+        .slice_config(4096);
+        assert_eq!(cfg.entries() % 4, 0);
+    }
+
+    #[test]
+    fn table_mentions_key_parameters() {
+        let rows = SystemConfig::default().table();
+        let text: String = rows.iter().map(|(k, v)| format!("{k}={v};")).collect();
+        assert!(text.contains("cores=16"));
+        assert!(text.contains("4x4 mesh"));
+        assert!(text.contains("stash"));
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = SystemConfig::default()
+            .with_cores(64)
+            .with_seed(7)
+            .with_dir(DirSpec::FullMap)
+            .with_check_interval(100);
+        cfg.validate();
+        assert_eq!(cfg.cores, 64);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.check_interval, 100);
+        assert_eq!(cfg.mesh().nodes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn validate_rejects_odd_core_counts() {
+        SystemConfig::default().with_cores(12).validate();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            DirSpec::stash(CoverageRatio::new(1, 8)).to_string(),
+            "stash@1/8x8w"
+        );
+        assert_eq!(DirSpec::FullMap.to_string(), "fullmap");
+        assert_eq!(CoverageRatio::new(2, 1).to_string(), "2");
+    }
+}

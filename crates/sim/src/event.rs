@@ -1,0 +1,123 @@
+//! The discrete-event queue.
+
+use stashdir_common::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of events with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_common::Cycle;
+/// use stashdir_sim::event::EventQueue;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.push(Cycle::new(10), "later");
+/// q.push(Cycle::new(5), "sooner");
+/// q.push(Cycle::new(5), "sooner-but-second");
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "sooner")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "sooner-but-second")));
+/// assert_eq!(q.pop(), Some((Cycle::new(10), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Cycle, u64, OrdIgnored<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper that exempts the payload from ordering (the `(time, seq)` key
+/// is already total).
+#[derive(Debug)]
+struct OrdIgnored<E>(E);
+
+impl<E> PartialEq for OrdIgnored<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for OrdIgnored<E> {}
+impl<E> PartialOrd for OrdIgnored<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for OrdIgnored<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`. Events at equal times pop in push
+    /// order.
+    pub fn push(&mut self, time: Cycle, event: E) {
+        self.heap.push(Reverse((time, self.seq, OrdIgnored(event))));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(30), 3);
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle::ZERO, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

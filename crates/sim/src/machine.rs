@@ -1,0 +1,1343 @@
+//! The machine: cores, private hierarchies, home banks, NoC and DRAM,
+//! driven to completion over a set of per-core traces.
+//!
+//! See the crate docs for the simulation discipline. In short: events
+//! carry *time*; handlers compute whole coherence transactions
+//! procedurally and apply every state change in event (program) order,
+//! which together with per-block busy windows at the home yields a
+//! serializable execution.
+
+use crate::bank::{Bank, LlcLine};
+use crate::config::SystemConfig;
+use crate::event::EventQueue;
+use crate::private::{AccessResult, PrivateHier};
+use crate::report::{SimReport, TimelineSample};
+use crate::values::ValueTracker;
+use stashdir_common::{
+    BankId, BlockAddr, CoreId, Cycle, Histogram, MemOp, MemOpKind, NodeId, StatSink,
+};
+use stashdir_core::EvictionAction;
+use stashdir_mem::DramModel;
+use stashdir_noc::Network;
+use stashdir_protocol::{
+    decide, decide_put, discovery_intent, discovery_targets, needs_discovery, DirView,
+    DiscoveryIntent, Grant, Probe, ProbeReply, PutOutcome, Request, CONTROL_FLITS, DATA_FLITS,
+};
+use std::collections::HashMap;
+
+/// Per-core runtime state.
+#[derive(Debug)]
+pub(crate) struct CoreRt {
+    pub(crate) trace: Vec<MemOp>,
+    pub(crate) pc: usize,
+    pub(crate) pending: Option<MemOp>,
+    pub(crate) issue_time: Cycle,
+    pub(crate) finish: Option<Cycle>,
+    pub(crate) ops_done: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// The core attempts its next trace operation.
+    Issue(CoreId),
+    /// A core→home protocol message arrives.
+    BankMsg(BankMsg),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankMsg {
+    from: CoreId,
+    req: Request,
+    block: BlockAddr,
+    /// Version payload of a `PutM`.
+    version: u64,
+}
+
+/// One discovery round's result.
+#[derive(Debug, Clone, Copy)]
+struct DiscoveryHit {
+    owner: CoreId,
+    version: u64,
+    dirty: bool,
+    /// The owner keeps a (downgraded) copy.
+    retained: bool,
+    /// The reply carried data.
+    with_data: bool,
+}
+
+/// The simulated machine.
+///
+/// Construct with [`Machine::new`], execute with [`Machine::run`].
+pub struct Machine {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) net: Network,
+    chan_last: HashMap<(NodeId, NodeId), Cycle>,
+    pub(crate) cores: Vec<CoreRt>,
+    pub(crate) privs: Vec<PrivateHier>,
+    pub(crate) banks: Vec<Bank>,
+    pub(crate) dram: DramModel,
+    pub(crate) dram_store: HashMap<BlockAddr, u64>,
+    pub(crate) values: ValueTracker,
+    queue: EventQueue<Event>,
+    bank_bits: u32,
+    transactions: u64,
+    miss_latency: Histogram,
+    discovery_latency: Histogram,
+    inv_round_size: Histogram,
+    timeline: Vec<TimelineSample>,
+    next_sample: Cycle,
+}
+
+impl Machine {
+    /// Builds a machine from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`].
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate();
+        let mesh = config.mesh();
+        let bank_bits = (config.cores as u64).trailing_zeros();
+        let slice = config.dir_slice();
+        let privs = (0..config.cores)
+            .map(|c| {
+                PrivateHier::new(
+                    CoreId::new(c),
+                    &config.l1,
+                    &config.l2,
+                    config.notify_clean_evictions,
+                    config.seed ^ (c as u64) << 8,
+                )
+            })
+            .collect();
+        let banks = (0..config.cores)
+            .map(|b| {
+                Bank::new(
+                    BankId::new(b),
+                    bank_bits,
+                    &config.llc_bank,
+                    slice.build(config.seed ^ 0xD1D1 ^ ((b as u64) << 16)),
+                    config.seed ^ 0x11C ^ ((b as u64) << 24),
+                )
+            })
+            .collect();
+        Machine {
+            net: Network::new(mesh, config.noc),
+            chan_last: HashMap::new(),
+            cores: Vec::new(),
+            privs,
+            banks,
+            dram: DramModel::new(config.dram),
+            dram_store: HashMap::new(),
+            values: ValueTracker::new(),
+            queue: EventQueue::new(),
+            bank_bits,
+            transactions: 0,
+            miss_latency: Histogram::new(),
+            discovery_latency: Histogram::new(),
+            inv_round_size: Histogram::new(),
+            timeline: Vec::new(),
+            next_sample: Cycle::ZERO,
+            cfg: config,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The home bank of a block.
+    pub fn home(&self, block: BlockAddr) -> BankId {
+        BankId::new((block.get() & ((1 << self.bank_bits) - 1)) as u16)
+    }
+
+    /// Runs the machine over one trace per core until every core retires
+    /// its whole trace and all protocol traffic drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the configured core count.
+    pub fn run(mut self, traces: Vec<Vec<MemOp>>) -> SimReport {
+        assert_eq!(
+            traces.len(),
+            self.cfg.cores as usize,
+            "need exactly one trace per core"
+        );
+        self.cores = traces
+            .into_iter()
+            .map(|trace| CoreRt {
+                trace,
+                pc: 0,
+                pending: None,
+                issue_time: Cycle::ZERO,
+                finish: None,
+                ops_done: 0,
+            })
+            .collect();
+        for c in 0..self.cfg.cores {
+            self.queue.push(Cycle::ZERO, Event::Issue(CoreId::new(c)));
+        }
+        let mut last = Cycle::ZERO;
+        while let Some((now, event)) = self.queue.pop() {
+            debug_assert!(now >= last, "time went backwards");
+            last = now;
+            if self.cfg.timeline_interval > 0 && now >= self.next_sample {
+                self.record_sample(now);
+                self.next_sample = now + self.cfg.timeline_interval;
+            }
+            match event {
+                Event::Issue(core) => self.handle_issue(core, now),
+                Event::BankMsg(msg) => self.handle_bank_msg(msg, now),
+            }
+        }
+        let violations = self.final_check();
+        self.build_report(violations)
+    }
+
+    // ---- plumbing ----
+
+    /// Records one point of the run's time series.
+    fn record_sample(&mut self, now: Cycle) {
+        let mut dir_occupancy = 0u64;
+        let mut silent = 0u64;
+        let mut inval = 0u64;
+        let mut discoveries = 0u64;
+        for bank in &self.banks {
+            dir_occupancy += bank.dir().occupancy() as u64;
+            silent += bank.dir().stats().silent_evictions.get();
+            inval += bank.dir().stats().invalidating_evictions.get();
+            discoveries += bank.stats.discoveries.get() + bank.stats.evict_discoveries.get();
+        }
+        self.timeline.push(TimelineSample {
+            cycle: now.get(),
+            dir_occupancy,
+            ops: self.cores.iter().map(|c| c.ops_done).sum(),
+            silent_evictions: silent,
+            invalidating_evictions: inval,
+            discoveries,
+        });
+    }
+
+    /// Sends a message and returns its arrival, enforcing per-channel FIFO
+    /// in *program* order (the order calls are made), which is the causal
+    /// order of the simulation.
+    fn deliver(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flits: u32,
+        class: &'static str,
+        t: Cycle,
+    ) -> Cycle {
+        let raw = self.net.send(src, dst, flits, class, t);
+        let slot = self.chan_last.entry((src, dst)).or_insert(Cycle::ZERO);
+        let arrival = raw.max(*slot + 1);
+        *slot = arrival;
+        arrival
+    }
+
+    // ---- core side ----
+
+    fn handle_issue(&mut self, core: CoreId, now: Cycle) {
+        let rt = &mut self.cores[core.index()];
+        debug_assert!(rt.pending.is_none(), "{core} issued while blocked");
+        let Some(&op) = rt.trace.get(rt.pc) else {
+            rt.finish = Some(now);
+            return;
+        };
+        rt.pc += 1;
+        let t = now + op.think as u64;
+        match self.privs[core.index()].access(op) {
+            AccessResult::Hit {
+                latency, version, ..
+            } => {
+                match op.kind {
+                    MemOpKind::Read => self.values.on_read(core, op.block, version),
+                    MemOpKind::Write => {
+                        let v = self.values.on_write(core, op.block);
+                        self.privs[core.index()].record_write(op.block, v);
+                    }
+                }
+                let rt = &mut self.cores[core.index()];
+                rt.ops_done += 1;
+                self.queue.push(t + latency, Event::Issue(core));
+            }
+            AccessResult::Miss { request, latency } => {
+                let rt = &mut self.cores[core.index()];
+                rt.pending = Some(op);
+                rt.issue_time = t + latency;
+                let home = self.home(op.block);
+                let arrival = self.deliver(
+                    core.node(),
+                    home.node(),
+                    request.flits(),
+                    request.class(),
+                    t + latency,
+                );
+                self.queue.push(
+                    arrival,
+                    Event::BankMsg(BankMsg {
+                        from: core,
+                        req: request,
+                        block: op.block,
+                        version: 0,
+                    }),
+                );
+            }
+        }
+    }
+
+    // ---- home side ----
+
+    fn handle_bank_msg(&mut self, msg: BankMsg, now: Cycle) {
+        if msg.req.is_put() {
+            self.process_put(msg, now);
+        } else {
+            self.process_demand(msg, now);
+        }
+        self.transactions += 1;
+        if self.cfg.check_interval > 0 && self.transactions.is_multiple_of(self.cfg.check_interval)
+        {
+            let problems = crate::checker::check(self, false);
+            for p in problems {
+                self.values.report(p);
+            }
+        }
+    }
+
+    fn process_put(&mut self, msg: BankMsg, now: Cycle) {
+        let bank_id = self.home(msg.block);
+        let bank = &mut self.banks[bank_id.index()];
+        let t = now.max(bank.free_at).max(bank.block_busy_until(msg.block)) + self.cfg.dir_latency;
+        bank.free_at = t.max(bank.free_at) + self.cfg.bank_occupancy;
+        bank.hold_block(msg.block, t);
+
+        let view = bank.dir_view(msg.block);
+        let wb = self.privs[msg.from.index()].wb_take(msg.block);
+        match decide_put(msg.req, msg.from, &view) {
+            PutOutcome::Accept {
+                new_view,
+                writeback,
+            } => {
+                if writeback {
+                    let line = self.banks[bank_id.index()]
+                        .llc_peek_mut(msg.block)
+                        .expect("LLC inclusion: tracked block resident");
+                    line.version = msg.version;
+                    line.dirty = true;
+                }
+                let bank = &mut self.banks[bank_id.index()];
+                match new_view {
+                    DirView::Untracked => bank.dir_remove(msg.block),
+                    v => {
+                        let action = bank.dir_install(msg.block, v);
+                        debug_assert!(action.is_none(), "shrinking update never evicts");
+                    }
+                }
+            }
+            PutOutcome::Stale => {
+                let bank = &mut self.banks[bank_id.index()];
+                let unclaimed = wb.is_some_and(|e| !e.claimed);
+                if view == DirView::Untracked && bank.stash_bit(msg.block) && unclaimed {
+                    // The hidden owner's own eviction: nothing intervened
+                    // since the entry was stashed (the parked data was
+                    // never claimed), so the put is authoritative. Accept
+                    // the data and clear the stash bit — the hidden copy
+                    // is gone.
+                    if msg.req == Request::PutM {
+                        let line = bank
+                            .llc_peek_mut(msg.block)
+                            .expect("stash bit lives on a resident line");
+                        line.version = msg.version;
+                        line.dirty = true;
+                        bank.stats.hidden_writebacks.incr();
+                    }
+                    bank.set_stash_bit(msg.block, false);
+                } else {
+                    bank.stats.stale_puts.incr();
+                }
+            }
+        }
+        // Put acknowledgement (traffic accounting; the parked entry was
+        // already released in program order above).
+        let bank_node = bank_id.node();
+        self.deliver(bank_node, msg.from.node(), CONTROL_FLITS, "ack", t);
+    }
+
+    fn process_demand(&mut self, msg: BankMsg, now: Cycle) {
+        let bank_id = self.home(msg.block);
+        let requester = msg.from;
+        let block = msg.block;
+
+        // Serialize: per-block window plus bank pipeline occupancy.
+        let bank = &mut self.banks[bank_id.index()];
+        let start = now.max(bank.free_at).max(bank.block_busy_until(block));
+        bank.free_at = start + self.cfg.bank_occupancy;
+        let mut t = start + self.cfg.dir_latency;
+
+        let mut view = bank.dir_view(block);
+
+        // Stash discovery: directory miss + stash bit set.
+        if self.cfg.dir.uses_stash()
+            && needs_discovery(&view, self.banks[bank_id.index()].stash_bit(block))
+        {
+            let intent = discovery_intent(msg.req);
+            // GetS/GetM requesters cannot be the hidden owner (they hold
+            // nothing), but an Upgrade requester holds an S copy that may
+            // itself be the hidden one (a silently dropped single-sharer
+            // entry) — it must be probed too, so the write invalidates it
+            // and refetches cleanly.
+            let exclude = (msg.req != Request::Upgrade).then_some(requester);
+            let (hit, t_done) = self.run_discovery(bank_id, block, intent, exclude, t);
+            self.discovery_latency.record(t_done - t);
+            t = t_done;
+            let bank = &mut self.banks[bank_id.index()];
+            bank.set_stash_bit(block, false);
+            bank.stats.discoveries.incr();
+            match hit {
+                Some(found) => {
+                    bank.stats.discoveries_found.incr();
+                    if found.with_data && found.dirty {
+                        let line = bank
+                            .llc_peek_mut(block)
+                            .expect("stash bit lives on a resident line");
+                        line.version = found.version;
+                        line.dirty = true;
+                    }
+                    if intent == DiscoveryIntent::Share && found.retained {
+                        // Re-learned: the hidden holder keeps a Shared copy.
+                        view = DirView::Shared(stashdir_common::SharerSet::singleton(
+                            self.cfg.cores,
+                            found.owner,
+                        ));
+                    }
+                }
+                None => bank.stats.discoveries_stale.incr(),
+            }
+        }
+
+        let outcome = decide(msg.req, requester, &view, self.cfg.cores);
+
+        // Probe phase: forwards and invalidations.
+        let mut t_acks = t;
+        let mut data_at_req: Option<(Cycle, u64)> = None;
+        let mut owner_retained = false;
+        let mut had_fwdgets = false;
+        if !outcome.probes.is_empty() {
+            self.inv_round_size.record(outcome.probes.len() as u64);
+        }
+        for &(target, probe) in &outcome.probes {
+            let bank_node = bank_id.node();
+            let probe_arr = self.deliver(bank_node, target.node(), probe.flits(), probe.class(), t);
+            let ans = self.privs[target.index()].apply_probe(block, probe);
+            let rep_arr = self.deliver(
+                target.node(),
+                bank_node,
+                ans.reply.flits(),
+                ans.reply.class(),
+                probe_arr,
+            );
+            t_acks = t_acks.max(rep_arr);
+            if ans.reply.has_data() {
+                if ans.reply == ProbeReply::AckDirtyData {
+                    // Owner's dirty data is written through to the LLC.
+                    let line = self.banks[bank_id.index()]
+                        .llc_peek_mut(block)
+                        .expect("LLC inclusion: tracked block resident");
+                    line.version = ans.version;
+                    line.dirty = true;
+                }
+                // Three-hop: data goes straight to the requester too.
+                let data_arr = self.deliver(
+                    target.node(),
+                    requester.node(),
+                    DATA_FLITS,
+                    "data",
+                    probe_arr,
+                );
+                data_at_req = Some((data_arr, ans.version));
+            }
+            if matches!(probe, Probe::FwdGetS) {
+                had_fwdgets = true;
+                owner_retained = ans.retained;
+            }
+        }
+
+        // Data phase: LLC (or DRAM) when no owner supplied data.
+        if outcome.needs_data && data_at_req.is_none() {
+            let was_resident = self.banks[bank_id.index()].llc_peek(block).is_some();
+            let (ready, t_protocol) = self.ensure_llc_resident(bank_id, block, t);
+            t_acks = t_acks.max(t_protocol);
+            let version = self.banks[bank_id.index()]
+                .llc_access(block)
+                .expect("just ensured resident")
+                .version;
+            if was_resident {
+                self.banks[bank_id.index()].llc_stats.hits.incr();
+            }
+            let arr = self.deliver(
+                bank_id.node(),
+                requester.node(),
+                DATA_FLITS,
+                "data",
+                ready.max(t_acks),
+            );
+            data_at_req = Some((arr, version));
+        } else if self.banks[bank_id.index()].llc_peek(block).is_some() {
+            // Owner-supplied data or data-less upgrade: the LLC line is
+            // touched (writeback / tag check) but supplies nothing.
+            self.banks[bank_id.index()].llc_access(block);
+            self.banks[bank_id.index()].llc_stats.hits.incr();
+        }
+
+        // Directory update, reconciled against what the probes learned.
+        let final_view =
+            reconcile_view(outcome.new_view, requester, had_fwdgets && !owner_retained);
+        let t_evict = match final_view {
+            DirView::Untracked => {
+                self.banks[bank_id.index()].dir_remove(block);
+                t
+            }
+            v => {
+                let action = self.banks[bank_id.index()].dir_install(block, v);
+                self.enact_dir_eviction(bank_id, action, t)
+            }
+        };
+        t_acks = t_acks.max(t_evict);
+        debug_assert!(
+            !self.banks[bank_id.index()].stash_bit(block),
+            "tracked blocks never keep a stash bit"
+        );
+
+        // Completion at the requester.
+        let (grant_arrival, data_version) = match data_at_req {
+            Some((arr, v)) => (arr.max(t_acks), v),
+            None => {
+                // Data-less upgrade: a control grant once acks collected.
+                let arr = self.deliver(
+                    bank_id.node(),
+                    requester.node(),
+                    CONTROL_FLITS,
+                    "ack",
+                    t_acks,
+                );
+                (arr, 0)
+            }
+        };
+        let fill_done = grant_arrival + self.cfg.l2.latency;
+        self.complete_demand(
+            requester,
+            msg.req,
+            outcome.grant,
+            outcome.needs_data,
+            data_version,
+            fill_done,
+        );
+        self.banks[bank_id.index()].hold_block(block, fill_done);
+        self.miss_latency
+            .record(fill_done.saturating_since(self.cores[requester.index()].issue_time));
+        self.queue.push(fill_done, Event::Issue(requester));
+    }
+
+    /// Applies the grant at the requester: fill (or permission upgrade),
+    /// value tracking, eviction side effects.
+    fn complete_demand(
+        &mut self,
+        requester: CoreId,
+        req: Request,
+        grant: Grant,
+        needs_data: bool,
+        data_version: u64,
+        fill_done: Cycle,
+    ) {
+        let op = self.cores[requester.index()]
+            .pending
+            .take()
+            .expect("demand completion matches a pending op");
+        debug_assert_eq!(op.kind == MemOpKind::Write, req != Request::GetS);
+
+        let hier = &mut self.privs[requester.index()];
+        let version = if !needs_data {
+            // Data-less path: the live copy gains write permission.
+            hier.grant_permission(op.block)
+        } else {
+            let evicted = hier.fill(op.block, grant, data_version);
+            if let Some(ev) = evicted {
+                if let Some(put) = ev.put {
+                    let home = self.home(ev.block);
+                    let arrival = self.deliver(
+                        requester.node(),
+                        home.node(),
+                        put.flits(),
+                        put.class(),
+                        fill_done,
+                    );
+                    self.queue.push(
+                        arrival,
+                        Event::BankMsg(BankMsg {
+                            from: requester,
+                            req: put,
+                            block: ev.block,
+                            version: ev.version,
+                        }),
+                    );
+                }
+            }
+            data_version
+        };
+
+        if matches!(grant, Grant::Exclusive | Grant::Modified) {
+            self.values.on_exclusive_grant(requester, op.block, version);
+        }
+        match op.kind {
+            MemOpKind::Read => self.values.on_read(requester, op.block, version),
+            MemOpKind::Write => {
+                let v = self.values.on_write(requester, op.block);
+                self.privs[requester.index()].record_write(op.block, v);
+            }
+        }
+        self.cores[requester.index()].ops_done += 1;
+    }
+
+    /// Guarantees `block` is LLC-resident at `bank`, fetching from DRAM
+    /// and evicting an LLC victim (with its protocol side effects) if
+    /// needed. Returns `(data_ready, protocol_done)`.
+    fn ensure_llc_resident(
+        &mut self,
+        bank_id: BankId,
+        block: BlockAddr,
+        t: Cycle,
+    ) -> (Cycle, Cycle) {
+        if self.banks[bank_id.index()].llc_peek(block).is_some() {
+            return (t + self.cfg.llc_bank.latency, t);
+        }
+        self.banks[bank_id.index()].llc_stats.misses.incr();
+        let mut t_protocol = t;
+        // Make room first: the victim's eviction is a protocol action.
+        if let Some(victim) = self.banks[bank_id.index()].llc_victim_for(block) {
+            t_protocol = self.evict_llc_line(bank_id, victim, t);
+        }
+        // Fetch.
+        let ready = self.dram.access(block, t + self.cfg.llc_bank.latency);
+        let version = self.dram_store.get(&block).copied().unwrap_or(0);
+        self.banks[bank_id.index()].llc_insert(
+            block,
+            LlcLine {
+                version,
+                dirty: false,
+                stash: false,
+            },
+        );
+        (ready.max(t_protocol), t_protocol)
+    }
+
+    /// Evicts `victim` from the LLC, recalling or discovering any cached
+    /// copies (inclusion), writing dirty data back to DRAM. Returns when
+    /// the protocol actions complete.
+    fn evict_llc_line(&mut self, bank_id: BankId, victim: BlockAddr, t: Cycle) -> Cycle {
+        let view = self.banks[bank_id.index()].dir_view(victim);
+        let mut t_done = t;
+        let mut line = *self.banks[bank_id.index()]
+            .llc_peek(victim)
+            .expect("victim is resident");
+        match &view {
+            DirView::Untracked if line.stash => {
+                // A hidden copy may exist: discovery-invalidate round.
+                let (hit, done) =
+                    self.run_discovery(bank_id, victim, DiscoveryIntent::Invalidate, None, t);
+                t_done = done;
+                let bank = &mut self.banks[bank_id.index()];
+                bank.stats.evict_discoveries.incr();
+                if let Some(found) = hit {
+                    if found.with_data && found.dirty {
+                        line.version = found.version;
+                        line.dirty = true;
+                    }
+                    bank.stats.inclusion_invalidations.incr();
+                }
+            }
+            DirView::Untracked => {}
+            tracked => {
+                // Recall every copy (inclusion requires it).
+                let holders = tracked.holders();
+                let probe = match tracked {
+                    DirView::Exclusive(_) => Probe::Recall,
+                    _ => Probe::Inv,
+                };
+                let bank_node = bank_id.node();
+                for holder in &holders {
+                    let probe_arr =
+                        self.deliver(bank_node, holder.node(), probe.flits(), probe.class(), t);
+                    let ans = self.privs[holder.index()].apply_probe(victim, probe);
+                    let rep_arr = self.deliver(
+                        holder.node(),
+                        bank_node,
+                        ans.reply.flits(),
+                        ans.reply.class(),
+                        probe_arr,
+                    );
+                    t_done = t_done.max(rep_arr);
+                    if ans.reply == ProbeReply::AckDirtyData {
+                        line.version = ans.version;
+                        line.dirty = true;
+                    }
+                }
+                let bank = &mut self.banks[bank_id.index()];
+                bank.dir_remove(victim);
+                bank.stats.llc_recalls.incr();
+                bank.stats.inclusion_invalidations.add(holders.len() as u64);
+            }
+        }
+        let bank = &mut self.banks[bank_id.index()];
+        bank.llc_remove(victim);
+        bank.llc_stats.evictions.incr();
+        if line.dirty {
+            bank.llc_stats.writebacks.incr();
+            self.dram_store.insert(victim, line.version);
+            // Posted write: occupies a DRAM channel but nothing waits.
+            self.dram.access(victim, t_done);
+        }
+        t_done
+    }
+
+    /// Enacts a directory-eviction action returned by an install: sets the
+    /// stash bit for silent victims, invalidates the holders of
+    /// conventional victims. Returns when the action's probes complete.
+    fn enact_dir_eviction(&mut self, bank_id: BankId, action: EvictionAction, t: Cycle) -> Cycle {
+        match action {
+            EvictionAction::None => t,
+            EvictionAction::Silent { block, .. } => {
+                // The stash mechanism: remember a hidden copy may exist.
+                self.banks[bank_id.index()].set_stash_bit(block, true);
+                t
+            }
+            EvictionAction::Invalidate { block, view } => {
+                let holders = view.holders();
+                let probe = match &view {
+                    DirView::Exclusive(_) => Probe::Recall,
+                    _ => Probe::Inv,
+                };
+                let bank_node = bank_id.node();
+                let mut t_done = t;
+                for holder in &holders {
+                    let probe_arr =
+                        self.deliver(bank_node, holder.node(), probe.flits(), probe.class(), t);
+                    let ans = self.privs[holder.index()].apply_probe(block, probe);
+                    let rep_arr = self.deliver(
+                        holder.node(),
+                        bank_node,
+                        ans.reply.flits(),
+                        ans.reply.class(),
+                        probe_arr,
+                    );
+                    t_done = t_done.max(rep_arr);
+                    if ans.reply == ProbeReply::AckDirtyData {
+                        let line = self.banks[bank_id.index()]
+                            .llc_peek_mut(block)
+                            .expect("LLC inclusion: tracked block resident");
+                        line.version = ans.version;
+                        line.dirty = true;
+                    }
+                }
+                let bank = &mut self.banks[bank_id.index()];
+                bank.stats.dir_eviction_probes.add(holders.len() as u64);
+                t_done
+            }
+        }
+    }
+
+    /// Runs a discovery broadcast for `block`, probing every core except
+    /// `exclude`. Returns the hit (at most one core holds a hidden copy)
+    /// and the *conclusive* time: since a hidden copy is unique, the home
+    /// proceeds as soon as the positive reply arrives, letting the
+    /// trailing not-present replies drain off the critical path. Only a
+    /// fully negative round (stale stash bit) must wait for every reply.
+    fn run_discovery(
+        &mut self,
+        bank_id: BankId,
+        block: BlockAddr,
+        intent: DiscoveryIntent,
+        exclude: Option<CoreId>,
+        t: Cycle,
+    ) -> (Option<DiscoveryHit>, Cycle) {
+        let probe = Probe::Discovery(intent);
+        let bank_node = bank_id.node();
+        let mut t_all = t;
+        let mut t_positive = None;
+        let mut hit: Option<DiscoveryHit> = None;
+        for target in discovery_targets(self.cfg.cores, exclude) {
+            let probe_arr = self.deliver(bank_node, target.node(), probe.flits(), probe.class(), t);
+            let ans = self.privs[target.index()].apply_probe(block, probe);
+            let rep_arr = self.deliver(
+                target.node(),
+                bank_node,
+                ans.reply.flits(),
+                ans.reply.class(),
+                probe_arr,
+            );
+            t_all = t_all.max(rep_arr);
+            if ans.reply != ProbeReply::NotPresent {
+                debug_assert!(hit.is_none(), "at most one hidden copy of {block}");
+                t_positive = Some(rep_arr);
+                hit = Some(DiscoveryHit {
+                    owner: target,
+                    version: ans.version,
+                    dirty: ans.reply == ProbeReply::AckDirtyData,
+                    retained: ans.retained,
+                    with_data: ans.reply.has_data(),
+                });
+            }
+        }
+        (hit, t_positive.unwrap_or(t_all))
+    }
+
+    // ---- end of run ----
+
+    fn final_check(&mut self) -> Vec<String> {
+        let mut problems = crate::checker::check(self, true);
+        problems.extend(self.values.violations().iter().cloned());
+        problems
+    }
+
+    fn build_report(self, violations: Vec<String>) -> SimReport {
+        let mut sink = StatSink::new();
+        let cycles = self
+            .cores
+            .iter()
+            .map(|c| c.finish.unwrap_or(Cycle::ZERO).get())
+            .max()
+            .unwrap_or(0);
+        let completed_ops: u64 = self.cores.iter().map(|c| c.ops_done).sum();
+
+        // Aggregate per-core cache stats.
+        let mut l1 = stashdir_mem::CacheStats::default();
+        let mut l2 = stashdir_mem::CacheStats::default();
+        for p in &self.privs {
+            l1.merge(&p.l1_stats);
+            l2.merge(&p.l2_stats);
+        }
+        l1.export("l1", &mut sink);
+        l2.export("l2", &mut sink);
+
+        // Aggregate banks.
+        let mut llc = stashdir_mem::CacheStats::default();
+        let mut dir = stashdir_core::DirStats::default();
+        let mut bank_stats = crate::bank::BankStats::default();
+        let mut dir_occupancy = 0usize;
+        for b in &self.banks {
+            llc.merge(&b.llc_stats);
+            dir.merge(b.dir().stats());
+            bank_stats.merge(&b.stats);
+            dir_occupancy += b.dir().occupancy();
+        }
+        llc.export("llc", &mut sink);
+        dir.export("dir", &mut sink);
+        sink.put("bank.discoveries", bank_stats.discoveries.get() as f64);
+        sink.put(
+            "bank.discoveries_found",
+            bank_stats.discoveries_found.get() as f64,
+        );
+        sink.put(
+            "bank.discoveries_stale",
+            bank_stats.discoveries_stale.get() as f64,
+        );
+        sink.put(
+            "bank.evict_discoveries",
+            bank_stats.evict_discoveries.get() as f64,
+        );
+        sink.put("bank.llc_recalls", bank_stats.llc_recalls.get() as f64);
+        sink.put(
+            "bank.inclusion_invalidations",
+            bank_stats.inclusion_invalidations.get() as f64,
+        );
+        sink.put(
+            "bank.dir_eviction_probes",
+            bank_stats.dir_eviction_probes.get() as f64,
+        );
+        sink.put("bank.stale_puts", bank_stats.stale_puts.get() as f64);
+        sink.put(
+            "bank.hidden_writebacks",
+            bank_stats.hidden_writebacks.get() as f64,
+        );
+        sink.put("dir.occupancy_final", dir_occupancy as f64);
+        sink.put(
+            "dir.storage_bits",
+            self.banks
+                .iter()
+                .map(|b| b.dir().storage_bits(&self.cfg.cost_params()))
+                .sum::<u64>() as f64,
+        );
+
+        self.net.export("noc", &mut sink);
+        self.dram.export("dram", &mut sink);
+
+        if let Some(mean) = self.miss_latency.mean() {
+            sink.put("core.mean_miss_latency", mean);
+        }
+        if let Some(p95) = self.miss_latency.quantile(0.95) {
+            sink.put("core.p95_miss_latency", p95 as f64);
+        }
+        sink.put("core.misses", self.miss_latency.count() as f64);
+        if let Some(mean) = self.discovery_latency.mean() {
+            sink.put("bank.mean_discovery_latency", mean);
+        }
+        if let Some(mean) = self.inv_round_size.mean() {
+            sink.put("bank.mean_inv_round_size", mean);
+        }
+        sink.put("machine.cycles", cycles as f64);
+        sink.put("machine.ops", completed_ops as f64);
+
+        SimReport {
+            cycles,
+            completed_ops,
+            violations,
+            sink,
+            timeline: self.timeline,
+        }
+    }
+}
+
+/// Adjusts the decide()-planned view against what probes actually found:
+/// a forwarded-to owner that had concurrently evicted does not become a
+/// sharer. `owner_gone` is true only when a `FwdGetS` was sent and its
+/// target reported no retained copy.
+fn reconcile_view(planned: DirView, requester: CoreId, owner_gone: bool) -> DirView {
+    match planned {
+        DirView::Shared(set) if owner_gone => DirView::Shared(
+            stashdir_common::SharerSet::singleton(set.capacity(), requester),
+        ),
+        v => v,
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cfg.cores)
+            .field("dir", &self.cfg.dir.name())
+            .field("transactions", &self.transactions)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoverageRatio, DirSpec};
+    use stashdir_common::DetRng;
+    use stashdir_core::DirReplPolicy;
+    use stashdir_mem::{CacheConfig, ReplKind};
+
+    /// A tiny 4-core machine that makes conflicts easy to provoke:
+    /// 4-block L1, 8-block L2, 16-block LLC banks.
+    fn tiny(dir: DirSpec) -> SystemConfig {
+        SystemConfig {
+            cores: 4,
+            block_bytes: 64,
+            l1: CacheConfig::new(256, 2, 64, 1, ReplKind::Lru),
+            l2: CacheConfig::new(512, 2, 64, 4, ReplKind::Lru),
+            llc_bank: CacheConfig::new(1024, 2, 64, 8, ReplKind::Lru),
+            dir,
+            ..SystemConfig::default()
+        }
+        .with_check_interval(1)
+    }
+
+    fn no_ops(cores: u16) -> Vec<Vec<MemOp>> {
+        vec![Vec::new(); cores as usize]
+    }
+
+    fn run(cfg: SystemConfig, traces: Vec<Vec<MemOp>>) -> crate::SimReport {
+        let report = Machine::new(cfg).run(traces);
+        report.assert_clean();
+        report
+    }
+
+    #[test]
+    fn empty_traces_finish_at_zero() {
+        let report = run(tiny(DirSpec::FullMap), no_ops(4));
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.completed_ops, 0);
+    }
+
+    #[test]
+    fn single_read_misses_then_hits() {
+        let mut traces = no_ops(4);
+        traces[0] = vec![MemOp::read(BlockAddr::new(0)); 10];
+        let report = run(tiny(DirSpec::FullMap), traces);
+        assert_eq!(report.completed_ops, 10);
+        assert_eq!(report.stat("l2.misses"), 1.0);
+        assert_eq!(report.stat("l1.hits"), 9.0);
+        assert_eq!(report.stat("dram.accesses"), 1.0);
+    }
+
+    #[test]
+    fn think_time_accumulates() {
+        let mut traces = no_ops(4);
+        traces[0] = vec![MemOp::read(BlockAddr::new(0)).with_think(100); 5];
+        let report = run(tiny(DirSpec::FullMap), traces);
+        assert!(
+            report.cycles >= 500,
+            "5 ops x 100 think, got {}",
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn producer_consumer_moves_data() {
+        // Core 0 writes a block repeatedly; core 1 reads it. The value
+        // tracker verifies every read observes a coherent version.
+        let b = BlockAddr::new(5);
+        let mut traces = no_ops(4);
+        for _ in 0..50 {
+            traces[0].push(MemOp::write(b).with_think(7));
+            traces[1].push(MemOp::read(b).with_think(5));
+        }
+        let report = run(tiny(DirSpec::FullMap), traces);
+        assert_eq!(report.completed_ops, 100);
+        // Ownership ping-pongs: forwards must have happened.
+        assert!(report.stat("noc.messages.fwd") > 0.0);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let b = BlockAddr::new(3);
+        let mut traces = no_ops(4);
+        // Everyone reads, then core 0 writes, then everyone re-reads.
+        for trace in traces.iter_mut() {
+            trace.push(MemOp::read(b));
+        }
+        traces[0].push(MemOp::write(b).with_think(1000));
+        for (c, trace) in traces.iter_mut().enumerate() {
+            trace.push(MemOp::read(b).with_think(2000 + 100 * c as u32));
+        }
+        let report = run(tiny(DirSpec::FullMap), traces);
+        assert!(
+            report.stat("l2.coherence_invalidations") >= 1.0,
+            "the write must invalidate other sharers"
+        );
+        assert!(report.stat("noc.messages.inv") >= 1.0);
+    }
+
+    #[test]
+    fn upgrade_is_data_less_when_uncontended() {
+        let b = BlockAddr::new(2);
+        let mut traces = no_ops(4);
+        // Two readers establish Shared; then one upgrades.
+        traces[0].push(MemOp::read(b));
+        traces[1].push(MemOp::read(b).with_think(500));
+        traces[0].push(MemOp::write(b).with_think(2000));
+        let report = run(tiny(DirSpec::FullMap), traces);
+        report.assert_clean();
+        assert_eq!(report.completed_ops, 3);
+    }
+
+    #[test]
+    fn sparse_conflicts_invalidate_but_stash_conflicts_do_not() {
+        // Working set far beyond a 1-set directory slice: every core
+        // streams over its own private blocks, thrashing the directory.
+        let mk_traces = || {
+            let mut traces = no_ops(4);
+            for (c, trace) in traces.iter_mut().enumerate() {
+                for round in 0..4 {
+                    for i in 0..32u64 {
+                        let block = BlockAddr::new(1000 + c as u64 * 512 + i * 4);
+                        let _ = round;
+                        trace.push(MemOp::read(block));
+                    }
+                }
+            }
+            traces
+        };
+        let tiny_dir = |spec| tiny(spec);
+        let sparse = run(
+            tiny_dir(DirSpec::Sparse {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+                repl: DirReplPolicy::Lru,
+            }),
+            mk_traces(),
+        );
+        let stash = run(
+            tiny_dir(DirSpec::Stash {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+                repl: DirReplPolicy::PrivateFirstLru,
+            }),
+            mk_traces(),
+        );
+        assert!(
+            sparse.stat("dir.copies_invalidated") > 0.0,
+            "sparse under-provisioning must force invalidations"
+        );
+        assert_eq!(
+            stash.stat("dir.copies_invalidated"),
+            0.0,
+            "all-private workload: stash evicts silently"
+        );
+        assert!(stash.stat("dir.silent_evictions") > 0.0);
+    }
+
+    #[test]
+    fn hidden_blocks_are_rediscovered() {
+        // Core 0 loads private blocks that overflow a 1-entry-per-set
+        // stash directory (hiding most of them); then core 1 reads the
+        // same blocks, which must trigger discovery, not stale data.
+        let blocks: Vec<BlockAddr> = (0..16).map(|i| BlockAddr::new(100 + i * 4)).collect();
+        let mut traces = no_ops(4);
+        for &b in &blocks {
+            traces[0].push(MemOp::write(b));
+        }
+        for &b in &blocks {
+            traces[1].push(MemOp::read(b).with_think(5000));
+        }
+        let report = run(
+            tiny(DirSpec::Stash {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+                repl: DirReplPolicy::PrivateFirstLru,
+            }),
+            traces,
+        );
+        assert!(
+            report.stat("bank.discoveries") > 0.0,
+            "hidden dirty blocks must be discovered"
+        );
+        assert!(report.stat("bank.discoveries_found") > 0.0);
+    }
+
+    #[test]
+    fn llc_eviction_recalls_private_copies() {
+        // Three cores each pin one block of LLC bank 0's set 0 (2 ways)
+        // in their L2s; the third fill must evict a line that is still
+        // privately cached, forcing an inclusion recall.
+        let mut traces = no_ops(4);
+        for (c, trace) in traces.iter_mut().enumerate().take(3) {
+            // Bank 0 blocks (multiple of 4) in the same LLC set:
+            // local = block >> 2 in {0, 8, 16} ≡ 0 (mod 8 sets).
+            let block = BlockAddr::new(c as u64 * 32);
+            trace.push(MemOp::read(block).with_think(500 * c as u32));
+            // Keep the core busy so its copy stays resident.
+            trace.push(MemOp::read(block).with_think(5000));
+        }
+        let report = run(tiny(DirSpec::FullMap), traces);
+        assert!(report.stat("llc.evictions") > 0.0);
+        assert!(
+            report.stat("bank.llc_recalls") > 0.0,
+            "LLC inclusion must recall tracked copies"
+        );
+        assert!(report.stat("bank.inclusion_invalidations") > 0.0);
+    }
+
+    #[test]
+    fn llc_eviction_of_stashed_line_runs_discovery() {
+        // Hide blocks (stash dir with tiny slices), then stream enough
+        // unrelated blocks through one bank to evict the stashed lines.
+        let mut traces = no_ops(4);
+        for i in 0..8u64 {
+            traces[0].push(MemOp::write(BlockAddr::new(i * 4))); // bank 0
+        }
+        for i in 0..64u64 {
+            traces[1].push(MemOp::read(BlockAddr::new(1024 + i * 4)).with_think(100));
+            // bank 0
+        }
+        let report = run(
+            tiny(DirSpec::Stash {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+                repl: DirReplPolicy::PrivateFirstLru,
+            }),
+            traces,
+        );
+        assert!(
+            report.stat("bank.evict_discoveries") > 0.0,
+            "evicting a stashed LLC line requires discovery"
+        );
+    }
+
+    #[test]
+    fn writeback_refetch_race_is_ordered() {
+        // A dirty block is evicted and immediately re-read; per-channel
+        // FIFO must deliver the PutM before the GetS, or the value
+        // tracker screams.
+        let hot = BlockAddr::new(0);
+        let conflict: Vec<BlockAddr> = (1..3).map(|i| BlockAddr::new(i * 512)).collect();
+        let mut traces = no_ops(4);
+        for _ in 0..20 {
+            traces[0].push(MemOp::write(hot));
+            for &c in &conflict {
+                traces[0].push(MemOp::read(c)); // evicts `hot` from tiny L2 set
+            }
+            traces[0].push(MemOp::read(hot));
+        }
+        run(tiny(DirSpec::FullMap), traces).assert_clean();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut rng = DetRng::seed_from(11);
+            let mut traces = no_ops(4);
+            for trace in traces.iter_mut() {
+                for _ in 0..200 {
+                    let block = BlockAddr::new(rng.below(64));
+                    let op = if rng.chance(0.3) {
+                        MemOp::write(block)
+                    } else {
+                        MemOp::read(block)
+                    };
+                    trace.push(op.with_think(rng.below(8) as u32));
+                }
+            }
+            traces
+        };
+        let a = run(tiny(DirSpec::stash(CoverageRatio::new(1, 4))), mk());
+        let b = run(tiny(DirSpec::stash(CoverageRatio::new(1, 4))), mk());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.sink, b.sink);
+    }
+
+    /// The soundness workhorse: random mixed traffic over a small, highly
+    /// contended block pool, full invariant checking after every single
+    /// transaction, across every directory organization and both
+    /// clean-eviction modes.
+    #[test]
+    fn stress_all_directories_stay_coherent() {
+        let specs = [
+            DirSpec::FullMap,
+            DirSpec::Sparse {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+                repl: DirReplPolicy::Lru,
+            },
+            DirSpec::Stash {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+                repl: DirReplPolicy::PrivateFirstLru,
+            },
+            DirSpec::Stash {
+                coverage: CoverageRatio::new(1, 16),
+                assoc: 2,
+                repl: DirReplPolicy::Random,
+            },
+            DirSpec::Cuckoo {
+                coverage: CoverageRatio::new(1, 8),
+            },
+        ];
+        for spec in specs {
+            for notify in [true, false] {
+                for seed in [1u64, 2] {
+                    let mut cfg = tiny(spec);
+                    cfg.notify_clean_evictions = notify;
+                    cfg.seed = seed;
+                    let mut rng = DetRng::seed_from(seed ^ 0xBEEF);
+                    let mut traces = no_ops(4);
+                    for trace in traces.iter_mut() {
+                        for _ in 0..400 {
+                            // 48 hot blocks: heavy sharing + heavy conflicts.
+                            let block = BlockAddr::new(rng.below(48));
+                            let op = if rng.chance(0.35) {
+                                MemOp::write(block)
+                            } else {
+                                MemOp::read(block)
+                            };
+                            trace.push(op.with_think(rng.below(5) as u32));
+                        }
+                    }
+                    let report = Machine::new(cfg).run(traces);
+                    assert!(
+                        report.violations.is_empty(),
+                        "{spec} notify={notify} seed={seed}: {:?}",
+                        &report.violations[..report.violations.len().min(5)]
+                    );
+                    assert_eq!(report.completed_ops, 1600);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stash_keeps_performance_with_tiny_directory() {
+        // Private streaming: stash at 1/8 must stay close to fullmap,
+        // sparse at 1/8 must be slower.
+        let mk_traces = || {
+            let mut traces = no_ops(4);
+            for (c, trace) in traces.iter_mut().enumerate() {
+                for _round in 0..6 {
+                    for i in 0..24u64 {
+                        let block = BlockAddr::new(c as u64 * 4096 + i * 4);
+                        trace.push(MemOp::read(block).with_think(2));
+                    }
+                }
+            }
+            traces
+        };
+        let full = run(tiny(DirSpec::FullMap), mk_traces());
+        let stash = run(tiny(DirSpec::stash(CoverageRatio::new(1, 8))), mk_traces());
+        let sparse = run(tiny(DirSpec::sparse(CoverageRatio::new(1, 8))), mk_traces());
+        assert!(
+            stash.cycles < sparse.cycles,
+            "stash {} should beat sparse {}",
+            stash.cycles,
+            sparse.cycles
+        );
+        let stash_slowdown = stash.cycles as f64 / full.cycles as f64;
+        assert!(
+            stash_slowdown < 1.15,
+            "stash within 15% of fullmap, got {stash_slowdown:.3}"
+        );
+    }
+
+    #[test]
+    fn timeline_samples_accumulate_monotonically() {
+        let mut traces = no_ops(4);
+        for i in 0..500u64 {
+            traces[0].push(MemOp::write(BlockAddr::new(i % 64)).with_think(10));
+        }
+        let cfg = tiny(DirSpec::stash(CoverageRatio::new(1, 8))).with_timeline(1_000);
+        let report = Machine::new(cfg).run(traces);
+        report.assert_clean();
+        assert!(report.timeline.len() > 5, "expected several samples");
+        for w in report.timeline.windows(2) {
+            assert!(w[1].cycle > w[0].cycle);
+            assert!(w[1].ops >= w[0].ops, "cumulative ops are monotone");
+            assert!(w[1].silent_evictions >= w[0].silent_evictions);
+            assert!(w[1].discoveries >= w[0].discoveries);
+        }
+    }
+
+    #[test]
+    fn timeline_off_by_default() {
+        let mut traces = no_ops(4);
+        traces[0].push(MemOp::read(BlockAddr::new(1)));
+        let report = run(tiny(DirSpec::FullMap), traces);
+        assert!(report.timeline.is_empty());
+    }
+
+    #[test]
+    fn report_exports_core_keys() {
+        let mut traces = no_ops(4);
+        traces[0].push(MemOp::write(BlockAddr::new(1)));
+        let report = run(tiny(DirSpec::stash(CoverageRatio::FULL)), traces);
+        for key in [
+            "machine.cycles",
+            "machine.ops",
+            "l1.hits",
+            "l2.misses",
+            "llc.misses",
+            "dir.allocations",
+            "noc.flit_hops",
+            "dram.accesses",
+            "dir.storage_bits",
+        ] {
+            assert!(report.sink.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per core")]
+    fn trace_count_must_match_cores() {
+        let _ = Machine::new(tiny(DirSpec::FullMap)).run(no_ops(2));
+    }
+}

@@ -1,0 +1,179 @@
+//! Data-value correctness tracking.
+//!
+//! Every simulated block carries a *version*: a monotonically increasing
+//! stamp assigned to each completed write. Data-bearing protocol messages
+//! carry versions, caches store them, and this tracker checks the memory
+//! consistency facts that any correct invalidation protocol guarantees:
+//!
+//! * **Per-location coherence**: each core observes non-decreasing
+//!   versions of each block.
+//! * **Write serialization**: a core that obtains an exclusive
+//!   (E/M-granted) copy observes the globally latest version.
+//!
+//! A protocol bug that loses a writeback or serves stale data (e.g. the
+//! refetch-overtakes-writeback race) trips these checks immediately.
+
+use stashdir_common::{BlockAddr, CoreId};
+use std::collections::HashMap;
+
+/// Tracks per-block write versions and checks reader observations.
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_common::{BlockAddr, CoreId};
+/// use stashdir_sim::values::ValueTracker;
+///
+/// let mut vt = ValueTracker::new();
+/// let b = BlockAddr::new(9);
+/// let v1 = vt.on_write(CoreId::new(0), b);
+/// vt.on_read(CoreId::new(1), b, v1);      // fine: reads the new version
+/// vt.on_read(CoreId::new(1), b, 0);       // regression: older than before
+/// assert_eq!(vt.violations().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ValueTracker {
+    latest: HashMap<BlockAddr, u64>,
+    last_seen: HashMap<(CoreId, BlockAddr), u64>,
+    next_version: u64,
+    violations: Vec<String>,
+}
+
+impl ValueTracker {
+    /// Creates a tracker; version stamps start at 1 (0 = "never written").
+    pub fn new() -> Self {
+        ValueTracker {
+            next_version: 1,
+            ..ValueTracker::default()
+        }
+    }
+
+    /// Records a completed write by `core`, returning the new version the
+    /// written copy must carry.
+    pub fn on_write(&mut self, core: CoreId, block: BlockAddr) -> u64 {
+        let v = self.next_version;
+        self.next_version += 1;
+        self.latest.insert(block, v);
+        self.last_seen.insert((core, block), v);
+        v
+    }
+
+    /// Records that `core` read `block` and observed `version`.
+    pub fn on_read(&mut self, core: CoreId, block: BlockAddr, version: u64) {
+        let seen = self.last_seen.entry((core, block)).or_insert(0);
+        if version < *seen {
+            self.violations.push(format!(
+                "{core} read {block} at version {version} after observing {seen}"
+            ));
+        } else {
+            *seen = version;
+        }
+    }
+
+    /// Records that `core` was granted an exclusive copy of `block`
+    /// carrying `version`; it must be the globally latest.
+    pub fn on_exclusive_grant(&mut self, core: CoreId, block: BlockAddr, version: u64) {
+        let latest = self.latest.get(&block).copied().unwrap_or(0);
+        if version != latest {
+            self.violations.push(format!(
+                "{core} granted exclusive {block} at version {version}, latest is {latest}"
+            ));
+        }
+        self.last_seen.insert((core, block), version);
+    }
+
+    /// The latest written version of `block` (0 when never written).
+    pub fn latest(&self, block: BlockAddr) -> u64 {
+        self.latest.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Blocks that have ever been written.
+    pub fn written_blocks(&self) -> impl Iterator<Item = (BlockAddr, u64)> + '_ {
+        self.latest.iter().map(|(b, v)| (*b, *v))
+    }
+
+    /// Consistency violations observed so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Records an externally detected violation.
+    pub fn report(&mut self, message: String) {
+        self.violations.push(message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(i: u16) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn versions_increase_globally() {
+        let mut vt = ValueTracker::new();
+        let a = vt.on_write(core(0), BlockAddr::new(1));
+        let b = vt.on_write(core(1), BlockAddr::new(2));
+        assert!(b > a);
+        assert_eq!(vt.latest(BlockAddr::new(1)), a);
+        assert_eq!(vt.latest(BlockAddr::new(2)), b);
+        assert_eq!(vt.latest(BlockAddr::new(3)), 0);
+    }
+
+    #[test]
+    fn monotonic_reads_pass() {
+        let mut vt = ValueTracker::new();
+        let b = BlockAddr::new(5);
+        vt.on_read(core(0), b, 0);
+        let v = vt.on_write(core(1), b);
+        vt.on_read(core(0), b, v);
+        vt.on_read(core(0), b, v);
+        assert!(vt.violations().is_empty());
+    }
+
+    #[test]
+    fn regressing_read_is_flagged() {
+        let mut vt = ValueTracker::new();
+        let b = BlockAddr::new(5);
+        let v = vt.on_write(core(0), b);
+        vt.on_read(core(1), b, v);
+        vt.on_read(core(1), b, v - 1);
+        assert_eq!(vt.violations().len(), 1);
+        assert!(vt.violations()[0].contains("after observing"));
+    }
+
+    #[test]
+    fn exclusive_grant_must_be_latest() {
+        let mut vt = ValueTracker::new();
+        let b = BlockAddr::new(7);
+        let v = vt.on_write(core(0), b);
+        vt.on_exclusive_grant(core(1), b, v);
+        assert!(vt.violations().is_empty());
+        vt.on_exclusive_grant(core(2), b, v - 1);
+        assert_eq!(vt.violations().len(), 1);
+    }
+
+    #[test]
+    fn unwritten_blocks_grant_version_zero() {
+        let mut vt = ValueTracker::new();
+        vt.on_exclusive_grant(core(0), BlockAddr::new(9), 0);
+        assert!(vt.violations().is_empty());
+    }
+
+    #[test]
+    fn written_blocks_enumerates() {
+        let mut vt = ValueTracker::new();
+        vt.on_write(core(0), BlockAddr::new(1));
+        vt.on_write(core(0), BlockAddr::new(2));
+        assert_eq!(vt.written_blocks().count(), 2);
+    }
+
+    #[test]
+    fn external_reports_accumulate() {
+        let mut vt = ValueTracker::new();
+        vt.report("custom".into());
+        assert_eq!(vt.violations(), &["custom".to_string()]);
+    }
+}

@@ -1,0 +1,100 @@
+//! `fft` — an FFT-like phased kernel with all-to-all transposes.
+//!
+//! Computation alternates between *butterfly* phases (each core
+//! read-modify-writes its own partition) and *transpose* phases (each
+//! core reads one stripe from every other core's partition and writes it
+//! into its own). Sharing is bursty and all-to-all, but each block still
+//! has one writer per phase — migratory-read behavior that exercises
+//! owner forwarding.
+
+use super::shared_region;
+use stashdir_common::MemOp;
+
+/// Blocks per core partition.
+const PARTITION: u64 = 1024;
+/// Butterfly ops between transposes.
+const PHASE_LEN: usize = 2048;
+
+/// Generates the traces.
+pub fn generate(cores: u16, ops_per_core: usize, _seed: u64) -> Vec<Vec<MemOp>> {
+    let matrix = shared_region(0, PARTITION * cores as u64);
+    let n = cores as u64;
+    (0..cores as usize)
+        .map(|c| {
+            let my_base = c as u64 * PARTITION;
+            let mut ops = Vec::with_capacity(ops_per_core);
+            let mut i = 0u64;
+            let mut phase = 0u64;
+            while ops.len() < ops_per_core {
+                // Butterfly phase: private RMW over own partition.
+                for _ in 0..PHASE_LEN / 2 {
+                    if ops.len() >= ops_per_core {
+                        break;
+                    }
+                    let b = matrix.block(my_base + (i % PARTITION));
+                    ops.push(MemOp::read(b).with_think(3));
+                    ops.push(MemOp::write(b).with_think(3));
+                    i += 1;
+                }
+                // Transpose: read a stripe of every peer's partition,
+                // write results into own partition.
+                let stripe = PARTITION / n.max(1);
+                for peer in 0..n {
+                    for k in 0..stripe.min(8) {
+                        if ops.len() >= ops_per_core {
+                            break;
+                        }
+                        let src = matrix.block(peer * PARTITION + (phase * 8 + k) % PARTITION);
+                        ops.push(MemOp::read(src).with_think(1));
+                        let dst = matrix.block(my_base + (peer * stripe + k) % PARTITION);
+                        ops.push(MemOp::write(dst).with_think(2));
+                    }
+                }
+                phase += 1;
+            }
+            ops.truncate(ops_per_core);
+            ops
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(4, 1000, 0);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|t| t.len() == 1000));
+        assert_eq!(a, generate(4, 1000, 5));
+    }
+
+    #[test]
+    fn transpose_reads_cross_partitions() {
+        let traces = generate(4, 2 * PHASE_LEN + 200, 0);
+        // Core 0 must read blocks from core 3's partition.
+        let foreign_base = super::super::shared_region(0, PARTITION * 4)
+            .block(3 * PARTITION)
+            .get();
+        let crossed = traces[0].iter().any(|o| {
+            !o.is_write() && (foreign_base..foreign_base + PARTITION).contains(&o.block.get())
+        });
+        assert!(crossed, "transpose must read remote partitions");
+    }
+
+    #[test]
+    fn writes_stay_in_own_partition() {
+        let traces = generate(4, 6000, 0);
+        let region = super::super::shared_region(0, PARTITION * 4);
+        for (c, t) in traces.iter().enumerate() {
+            let base = region.block(c as u64 * PARTITION).get();
+            for op in t.iter().filter(|o| o.is_write()) {
+                assert!(
+                    (base..base + PARTITION).contains(&op.block.get()),
+                    "core {c} wrote outside its partition"
+                );
+            }
+        }
+    }
+}

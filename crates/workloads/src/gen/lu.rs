@@ -1,0 +1,97 @@
+//! `lu` — an LU-decomposition-like kernel with one-to-many pivot sharing.
+//!
+//! Each outer iteration, one core (round-robin) computes a small *pivot*
+//! block set that every other core then reads while updating its own
+//! private panel. The pivot blocks flip from exclusively written to
+//! widely read-shared every iteration — the classic one-producer,
+//! many-consumers pattern.
+
+use super::{private_region, shared_region};
+use stashdir_common::MemOp;
+
+/// Blocks in the pivot set per iteration.
+const PIVOT_BLOCKS: u64 = 8;
+/// Panel updates per iteration per core.
+const PANEL_UPDATES: usize = 128;
+/// Per-core private panel size in blocks.
+const PANEL: u64 = 2048;
+
+/// Generates the traces.
+pub fn generate(cores: u16, ops_per_core: usize, _seed: u64) -> Vec<Vec<MemOp>> {
+    let pivots = shared_region(0, PIVOT_BLOCKS * 64);
+    (0..cores as usize)
+        .map(|c| {
+            let panel = private_region(c, PANEL);
+            let mut ops = Vec::with_capacity(ops_per_core);
+            let mut iter = 0u64;
+            let mut i = 0u64;
+            while ops.len() < ops_per_core {
+                let pivot_owner = (iter % cores as u64) as usize;
+                let pivot_base = (iter % 64) * PIVOT_BLOCKS;
+                if c == pivot_owner {
+                    // Produce the pivot.
+                    for k in 0..PIVOT_BLOCKS {
+                        ops.push(MemOp::write(pivots.block(pivot_base + k)).with_think(8));
+                    }
+                }
+                // Everyone reads the pivot and updates their panel.
+                for u in 0..PANEL_UPDATES {
+                    if ops.len() >= ops_per_core {
+                        break;
+                    }
+                    ops.push(
+                        MemOp::read(pivots.block(pivot_base + (u as u64 % PIVOT_BLOCKS)))
+                            .with_think(1),
+                    );
+                    let mine = panel.block(i % PANEL);
+                    ops.push(MemOp::read(mine).with_think(2));
+                    ops.push(MemOp::write(mine).with_think(4));
+                    i += 1;
+                }
+                iter += 1;
+            }
+            ops.truncate(ops_per_core);
+            ops
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(4, 1200, 0);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|t| t.len() == 1200));
+        assert_eq!(a, generate(4, 1200, 77));
+    }
+
+    #[test]
+    fn pivot_blocks_are_read_by_everyone() {
+        let traces = generate(4, 2000, 0);
+        let pivot0 = super::super::shared_region(0, PIVOT_BLOCKS * 64)
+            .block(0)
+            .get();
+        for (c, t) in traces.iter().enumerate() {
+            assert!(
+                t.iter().any(|o| o.block.get() == pivot0),
+                "core {c} never touched the pivot"
+            );
+        }
+    }
+
+    #[test]
+    fn pivot_writes_rotate_among_cores() {
+        let traces = generate(4, 4000, 0);
+        let writers: Vec<bool> = traces
+            .iter()
+            .map(|t| t.iter().any(|o| o.is_write() && o.block.get() >= (1 << 30)))
+            .collect();
+        assert!(
+            writers.iter().filter(|&&w| w).count() >= 2,
+            "pivot production must rotate: {writers:?}"
+        );
+    }
+}

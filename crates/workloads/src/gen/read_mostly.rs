@@ -1,0 +1,87 @@
+//! `read_mostly` — a hot read-shared table with rare updates.
+//!
+//! All cores read a Zipf-skewed shared table (think routing tables,
+//! dictionaries, interned strings); one in a hundred accesses updates an
+//! entry, invalidating every reader of that block. The stable state is
+//! wide sharing — the workload whose directory entries a stash directory
+//! must *not* evict silently (they are shared, so it cannot), exercising
+//! the private-first policy's fallback path.
+
+use super::{private_region, shared_region};
+use crate::zipf::Zipf;
+use stashdir_common::{DetRng, MemOp};
+
+/// Shared table size in blocks.
+const TABLE: u64 = 4096;
+/// Fraction of table accesses that write.
+const WRITE_FRAC: f64 = 0.01;
+/// Fraction of accesses going to the private working set.
+const PRIVATE_FRAC: f64 = 0.4;
+
+/// Generates the traces.
+pub fn generate(cores: u16, ops_per_core: usize, seed: u64) -> Vec<Vec<MemOp>> {
+    let table = shared_region(0, TABLE);
+    let zipf = Zipf::new(TABLE as usize, 0.8);
+    let mut root = DetRng::seed_from(seed);
+    (0..cores as usize)
+        .map(|c| {
+            let mut rng = root.fork();
+            let mine = private_region(c, 1024);
+            let mut ops = Vec::with_capacity(ops_per_core);
+            let mut i = 0u64;
+            while ops.len() < ops_per_core {
+                if rng.chance(PRIVATE_FRAC) {
+                    let b = mine.block(i);
+                    ops.push(MemOp::read(b).with_think(2));
+                    i += 1;
+                } else {
+                    let entry = table.block(zipf.sample(&mut rng) as u64);
+                    if rng.chance(WRITE_FRAC) {
+                        ops.push(MemOp::write(entry).with_think(4));
+                    } else {
+                        ops.push(MemOp::read(entry).with_think(2));
+                    }
+                }
+            }
+            ops.truncate(ops_per_core);
+            ops
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(4, 900, 12);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|t| t.len() == 900));
+        assert_eq!(a, generate(4, 900, 12));
+    }
+
+    #[test]
+    fn writes_are_rare() {
+        let traces = generate(4, 10_000, 1);
+        let total: usize = traces.iter().map(|t| t.len()).sum();
+        let writes: usize = traces
+            .iter()
+            .map(|t| t.iter().filter(|o| o.is_write()).count())
+            .sum();
+        let frac = writes as f64 / total as f64;
+        assert!(frac < 0.02, "read-mostly means <2% writes, got {frac}");
+    }
+
+    #[test]
+    fn hot_entries_are_shared_by_all_cores() {
+        let traces = generate(4, 5000, 2);
+        let hot = super::super::shared_region(0, TABLE).block(0).get();
+        for (c, t) in traces.iter().enumerate() {
+            assert!(
+                t.iter().any(|o| o.block.get() == hot),
+                "core {c} should hit the hottest entry"
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! `uniform` — uniformly random mixed traffic.
+//!
+//! Not modeled on any benchmark; a configurable stressor used by tests
+//! and ablations. Every core draws uniform random reads/writes over one
+//! shared pool, maximizing conflict and race coverage.
+
+use super::shared_region;
+use stashdir_common::{DetRng, MemOp};
+
+/// Generates traces over a pool of `pool_blocks` with the given write
+/// fraction.
+///
+/// # Panics
+///
+/// Panics if `pool_blocks` is zero.
+pub fn generate_with(
+    cores: u16,
+    ops_per_core: usize,
+    seed: u64,
+    pool_blocks: u64,
+    write_frac: f64,
+) -> Vec<Vec<MemOp>> {
+    assert!(pool_blocks > 0, "pool must hold at least one block");
+    let pool = shared_region(0, pool_blocks);
+    let mut root = DetRng::seed_from(seed);
+    (0..cores as usize)
+        .map(|_| {
+            let mut rng = root.fork();
+            (0..ops_per_core)
+                .map(|_| {
+                    let b = pool.block(rng.below(pool_blocks));
+                    let op = if rng.chance(write_frac) {
+                        MemOp::write(b)
+                    } else {
+                        MemOp::read(b)
+                    };
+                    op.with_think(rng.below(4) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The default stressor: a 2048-block pool, 30% writes.
+pub fn generate(cores: u16, ops_per_core: usize, seed: u64) -> Vec<Vec<MemOp>> {
+    generate_with(cores, ops_per_core, seed, 2048, 0.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(4, 100, 5);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|t| t.len() == 100));
+        assert_eq!(a, generate(4, 100, 5));
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let traces = generate_with(2, 10_000, 1, 64, 0.5);
+        let writes = traces[0].iter().filter(|o| o.is_write()).count();
+        assert!((4_000..6_000).contains(&writes), "got {writes}");
+    }
+
+    #[test]
+    fn pool_bounds_respected() {
+        let traces = generate_with(2, 1000, 2, 16, 0.3);
+        let base = super::super::shared_region(0, 16).block(0).get();
+        for t in &traces {
+            for op in t {
+                assert!((base..base + 16).contains(&op.block.get()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_pool_panics() {
+        let _ = generate_with(1, 1, 0, 0, 0.5);
+    }
+}

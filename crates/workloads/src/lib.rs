@@ -1,0 +1,36 @@
+//! Synthetic multi-threaded memory workloads for the Stash Directory
+//! reproduction.
+//!
+//! The paper evaluates on SPLASH-2/PARSEC binaries under a full-system
+//! simulator; this repository substitutes deterministic trace generators
+//! that reproduce those suites' *sharing archetypes* — the properties a
+//! coherence directory actually sees: per-core reuse distances, read/write
+//! mix, sharing degree, and the dominance of private blocks. Each
+//! generator is a [`Workload`] variant; [`Workload::suite`] returns the
+//! twelve-workload set used by every experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use stashdir_workloads::Workload;
+//!
+//! let traces = Workload::DataParallel.generate(16, 1000, 42);
+//! assert_eq!(traces.len(), 16);
+//! assert_eq!(traces[0].len(), 1000);
+//! // Deterministic: same seed, same trace.
+//! assert_eq!(traces, Workload::DataParallel.generate(16, 1000, 42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod gen;
+pub mod suite;
+pub mod trace;
+pub mod zipf;
+
+pub use characterize::Characterization;
+pub use suite::Workload;
+pub use trace::TraceFile;
+pub use zipf::Zipf;

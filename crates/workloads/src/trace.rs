@@ -1,0 +1,116 @@
+//! Trace serialization: save generated traces to disk and reload them,
+//! so experiments can be re-run bit-identically without regenerating.
+
+use serde::{Deserialize, Serialize};
+use stashdir_common::MemOp;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+/// A stored multi-core trace with its provenance.
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_workloads::{TraceFile, Workload};
+///
+/// let traces = Workload::Uniform.generate(2, 50, 3);
+/// let file = TraceFile::new("uniform", 3, traces.clone());
+/// let dir = std::env::temp_dir().join("stashdir_doc_trace.json");
+/// file.save(&dir).unwrap();
+/// let loaded = TraceFile::load(&dir).unwrap();
+/// assert_eq!(loaded.traces, traces);
+/// # std::fs::remove_file(&dir).ok();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceFile {
+    /// Workload name that produced the trace.
+    pub workload: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// One operation sequence per core.
+    pub traces: Vec<Vec<MemOp>>,
+}
+
+impl TraceFile {
+    /// Wraps generated traces with provenance.
+    pub fn new(workload: impl Into<String>, seed: u64, traces: Vec<Vec<MemOp>>) -> Self {
+        TraceFile {
+            workload: workload.into(),
+            seed,
+            traces,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total operations across cores.
+    pub fn total_ops(&self) -> usize {
+        self.traces.iter().map(Vec::len).sum()
+    }
+
+    /// Writes the trace as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O or serialization error.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let file = File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Reads a trace back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O or deserialization error.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("stashdir_test_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let traces = Workload::Migratory.generate(4, 100, 11);
+        let tf = TraceFile::new("migratory", 11, traces);
+        let path = tmp("roundtrip");
+        tf.save(&path).unwrap();
+        let loaded = TraceFile::load(&path).unwrap();
+        assert_eq!(loaded, tf);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let tf = TraceFile::new(
+            "x",
+            0,
+            vec![
+                Workload::Uniform.generate(1, 10, 0).remove(0),
+                Workload::Uniform.generate(1, 20, 1).remove(0),
+            ],
+        );
+        assert_eq!(tf.cores(), 2);
+        assert_eq!(tf.total_ops(), 30);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(TraceFile::load(Path::new("/nonexistent/trace.json")).is_err());
+    }
+}

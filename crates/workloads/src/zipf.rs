@@ -1,0 +1,128 @@
+//! Zipfian sampling for skewed access distributions.
+
+use stashdir_common::DetRng;
+
+/// A Zipf(α) sampler over `{0, …, n-1}` using inverse-CDF lookup on a
+/// precomputed table (exact, O(log n) per sample).
+///
+/// # Examples
+///
+/// ```
+/// use stashdir_common::DetRng;
+/// use stashdir_workloads::Zipf;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = DetRng::seed_from(1);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with skew `alpha` (0 = uniform;
+    /// 1 = classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "bad skew {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the sampler covers a single item.
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Draws one item: rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(10, 1.2);
+        let mut rng = DetRng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = DetRng::seed_from(4);
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((2_000..3_000).contains(&c), "uniform-ish, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn high_alpha_concentrates_on_rank_zero() {
+        let zipf = Zipf::new(100, 2.0);
+        let mut rng = DetRng::seed_from(5);
+        let zeros = (0..10_000).filter(|_| zipf.sample(&mut rng) == 0).count();
+        assert!(zeros > 5_000, "rank 0 should dominate, got {zeros}");
+    }
+
+    #[test]
+    fn rank_popularity_is_monotone() {
+        let zipf = Zipf::new(8, 1.0);
+        let mut rng = DetRng::seed_from(6);
+        let mut counts = [0usize; 8];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for w in counts.windows(2) {
+            assert!(
+                w[0] as f64 >= w[1] as f64 * 0.8,
+                "popularity should decay: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_item_always_samples_zero() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = DetRng::seed_from(7);
+        assert_eq!(zipf.sample(&mut rng), 0);
+        assert_eq!(zipf.len(), 1);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: every workload in the suite runs coherently
+//! on every directory organization, with the machine-wide invariant
+//! checker sampling throughout the run.
+
+use stashdir::{CoverageRatio, DirSpec, Machine, SystemConfig, Workload};
+
+/// A reduced machine (8 cores, quarter-size caches) so the whole matrix
+/// stays fast while still exercising conflicts at every level.
+fn small_config(dir: DirSpec) -> SystemConfig {
+    use stashdir::mem::{CacheConfig, ReplKind};
+    SystemConfig {
+        cores: 8,
+        l1: CacheConfig::new(8 * 1024, 4, 64, 1, ReplKind::Lru),
+        l2: CacheConfig::new(64 * 1024, 8, 64, 8, ReplKind::Lru),
+        llc_bank: CacheConfig::new(256 * 1024, 16, 64, 24, ReplKind::Lru),
+        dir,
+        ..SystemConfig::default()
+    }
+    .with_check_interval(500)
+}
+
+#[test]
+fn every_workload_is_coherent_under_stash_at_eighth() {
+    for workload in Workload::suite() {
+        let cfg = small_config(DirSpec::stash(CoverageRatio::new(1, 8)));
+        let traces = workload.generate(cfg.cores, 3_000, 11);
+        let report = Machine::new(cfg).run(traces);
+        assert!(
+            report.violations.is_empty(),
+            "{workload}: {:?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+        assert_eq!(report.completed_ops, 8 * 3_000, "{workload}");
+    }
+}
+
+#[test]
+fn every_workload_is_coherent_under_sparse_at_eighth() {
+    for workload in Workload::suite() {
+        let cfg = small_config(DirSpec::sparse(CoverageRatio::new(1, 8)));
+        let traces = workload.generate(cfg.cores, 3_000, 12);
+        let report = Machine::new(cfg).run(traces);
+        assert!(
+            report.violations.is_empty(),
+            "{workload}: {:?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+    }
+}
+
+#[test]
+fn every_workload_is_coherent_under_cuckoo() {
+    for workload in Workload::suite() {
+        let cfg = small_config(DirSpec::Cuckoo {
+            coverage: CoverageRatio::new(1, 8),
+        });
+        let traces = workload.generate(cfg.cores, 2_000, 13);
+        let report = Machine::new(cfg).run(traces);
+        assert!(
+            report.violations.is_empty(),
+            "{workload}: {:?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+    }
+}
+
+#[test]
+fn silent_clean_evictions_stay_coherent() {
+    for workload in [Workload::Canneal, Workload::Migratory, Workload::Uniform] {
+        let mut cfg = small_config(DirSpec::stash(CoverageRatio::new(1, 16)));
+        cfg.notify_clean_evictions = false;
+        let traces = workload.generate(cfg.cores, 3_000, 14);
+        let report = Machine::new(cfg).run(traces);
+        assert!(
+            report.violations.is_empty(),
+            "{workload}: {:?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+    }
+}
+
+#[test]
+fn scaling_to_32_cores_is_coherent() {
+    let mut cfg = small_config(DirSpec::stash(CoverageRatio::new(1, 8)));
+    cfg = cfg.with_cores(32);
+    let traces = Workload::Fft.generate(32, 1_500, 15);
+    let report = Machine::new(cfg).run(traces);
+    report.assert_clean();
+    assert_eq!(report.completed_ops, 32 * 1_500);
+}
+
+#[test]
+fn limited_pointer_formats_stay_coherent() {
+    use stashdir::SharerFormat;
+    for k in [1usize, 2] {
+        for workload in [Workload::ReadMostly, Workload::Lu, Workload::Uniform] {
+            let mut cfg = small_config(DirSpec::stash(CoverageRatio::new(1, 8)));
+            cfg.sharer_format = SharerFormat::LimitedPtr { k };
+            let traces = workload.generate(cfg.cores, 2_000, 16);
+            let report = Machine::new(cfg).run(traces);
+            assert!(
+                report.violations.is_empty(),
+                "{workload} ptr{k}: {:?}",
+                &report.violations[..report.violations.len().min(3)]
+            );
+        }
+    }
+}
