@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+# The build is fully offline — every external dependency is vendored as a
+# minimal stub under stubs/ (see stubs/README.md) — so this runs on a
+# clean checkout with no registry access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "== cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "CI OK"

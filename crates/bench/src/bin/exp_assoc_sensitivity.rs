@@ -2,58 +2,12 @@
 //! Conventional sparse leans on associativity to dodge conflicts; the
 //! stash directory barely cares because conflicts on private entries are
 //! free.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirReplPolicy, DirSpec, Workload};
-use stashdir_bench::{f3, machine_with, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let assocs = [2usize, 4, 8, 16];
-    let workloads = [
-        Workload::DataParallel,
-        Workload::Fft,
-        Workload::Lu,
-        Workload::ReadMostly,
-    ];
-
-    let mut headers: Vec<String> = vec!["workload".into()];
-    for a in assocs {
-        headers.push(format!("sparse_{a}w"));
-    }
-    for a in assocs {
-        headers.push(format!("stash_{a}w"));
-    }
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(
-        "E8 / Fig F — sensitivity to directory associativity at 1/8 coverage (normalized to full-map)",
-        &header_refs,
-    );
-
-    for workload in workloads {
-        let ideal = run_case(machine_with(DirSpec::FullMap), workload, params).cycles as f64;
-        let mut row = vec![workload.name().to_string()];
-        for &assoc in &assocs {
-            let dir = DirSpec::Sparse {
-                coverage,
-                assoc,
-                repl: DirReplPolicy::Lru,
-            };
-            let r = run_case(machine_with(dir), workload, params);
-            row.push(f3(r.cycles as f64 / ideal));
-        }
-        for &assoc in &assocs {
-            let dir = DirSpec::Stash {
-                coverage,
-                assoc,
-                repl: DirReplPolicy::PrivateFirstLru,
-            };
-            let r = run_case(machine_with(dir), workload, params);
-            row.push(f3(r.cycles as f64 / ideal));
-        }
-        table.row(row);
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e8_assoc_sensitivity");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("assoc_sensitivity")
 }

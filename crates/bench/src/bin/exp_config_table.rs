@@ -1,17 +1,10 @@
 //! E1 (Table 1): the simulated system configuration.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, SystemConfig};
-use stashdir_bench::Table;
+use std::process::ExitCode;
 
-fn main() {
-    let config = SystemConfig::default().with_dir(DirSpec::stash(CoverageRatio::new(1, 8)));
-    let mut table = Table::new(
-        "E1 / Table 1 — system configuration (16-core CMP model)",
-        &["parameter", "value"],
-    );
-    for (k, v) in config.table() {
-        table.row(vec![k, v]);
-    }
-    table.print();
-    table.save_csv("e1_config");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("config_table")
 }

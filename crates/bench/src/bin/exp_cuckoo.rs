@@ -2,52 +2,12 @@
 //! directory (Ferdman et al., HPCA 2011) at matched storage. Cuckoo
 //! dodges *conflicts* by relocation but still invalidates on every true
 //! capacity eviction; stash dodges the *invalidations* themselves.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, Workload};
-use stashdir_bench::{f3, machine_with, n0, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let coverages = [CoverageRatio::new(1, 4), CoverageRatio::new(1, 8)];
-    let workloads = [
-        Workload::DataParallel,
-        Workload::Fft,
-        Workload::Canneal,
-        Workload::Migratory,
-    ];
-
-    let mut table = Table::new(
-        "E12 / Fig I — stash vs cuckoo vs sparse at matched entry counts (normalized to full-map)",
-        &[
-            "workload",
-            "coverage",
-            "sparse",
-            "cuckoo",
-            "stash",
-            "cuckoo_relocs",
-            "cuckoo_copies_lost",
-            "stash_copies_lost",
-        ],
-    );
-    for workload in workloads {
-        let ideal = run_case(machine_with(DirSpec::FullMap), workload, params).cycles as f64;
-        for &coverage in &coverages {
-            let sparse = run_case(machine_with(DirSpec::sparse(coverage)), workload, params);
-            let cuckoo = run_case(machine_with(DirSpec::Cuckoo { coverage }), workload, params);
-            let stash = run_case(machine_with(DirSpec::stash(coverage)), workload, params);
-            table.row(vec![
-                workload.name().to_string(),
-                coverage.to_string(),
-                f3(sparse.cycles as f64 / ideal),
-                f3(cuckoo.cycles as f64 / ideal),
-                f3(stash.cycles as f64 / ideal),
-                n0(cuckoo.stat("dir.relocations")),
-                n0(cuckoo.stat("dir.copies_invalidated")),
-                n0(stash.stat("dir.copies_invalidated")),
-            ]);
-        }
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e12_cuckoo");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("cuckoo")
 }

@@ -2,43 +2,12 @@
 //! broadcasts. Rate per 1k ops, how many found a live hidden copy vs
 //! found nobody (stale stash bits), discoveries forced by LLC evictions,
 //! and the mean latency of a discovery round.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, Workload};
-use stashdir_bench::{f2, machine_with, n0, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let mut table = Table::new(
-        "E6 / Fig D — discovery behavior of the stash directory at 1/8 coverage",
-        &[
-            "workload",
-            "disc/kop",
-            "demand_disc",
-            "found",
-            "stale",
-            "llc_evict_disc",
-            "mean_disc_lat",
-            "hidden_wb",
-        ],
-    );
-    for workload in Workload::suite() {
-        let r = run_case(
-            machine_with(DirSpec::stash(CoverageRatio::new(1, 8))),
-            workload,
-            params,
-        );
-        table.row(vec![
-            workload.name().to_string(),
-            f2(r.discoveries_per_kop()),
-            n0(r.stat("bank.discoveries")),
-            n0(r.stat("bank.discoveries_found")),
-            n0(r.stat("bank.discoveries_stale")),
-            n0(r.stat("bank.evict_discoveries")),
-            f2(r.stat("bank.mean_discovery_latency")),
-            n0(r.stat("bank.hidden_writebacks")),
-        ]);
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e6_discovery");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("discovery")
 }

@@ -3,51 +3,12 @@
 //! energy efficiency and that stash preserves it at a fraction of the
 //! storage; this experiment weights the run's event counts with a
 //! CACTI-class energy table ([`stashdir::EnergyModel`]).
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, EnergyCounts, EnergyModel, SimReport, Workload};
-use stashdir_bench::{f3, machine_with, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn counts_of(r: &SimReport) -> EnergyCounts {
-    EnergyCounts {
-        dir_accesses: r.stat("dir.lookups") as u64,
-        llc_accesses: (r.stat("llc.hits") + r.stat("llc.misses") + r.stat("llc.writebacks")) as u64,
-        dram_accesses: r.stat("dram.accesses") as u64,
-        flit_hops: r.stat("noc.flit_hops") as u64,
-        probes: (r.stat("noc.messages.inv")
-            + r.stat("noc.messages.fwd")
-            + r.stat("noc.messages.discovery")) as u64,
-    }
-}
-
-fn main() {
-    let params = Params::default();
-    let model = EnergyModel::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let mut table = Table::new(
-        "E13 / Fig J — dynamic energy at 1/8 coverage (normalized to full-map)",
-        &[
-            "workload",
-            "sparse",
-            "stash",
-            "stash_dir_uJ",
-            "stash_noc_uJ",
-        ],
-    );
-    for workload in Workload::suite() {
-        let ideal = run_case(machine_with(DirSpec::FullMap), workload, params);
-        let sparse = run_case(machine_with(DirSpec::sparse(coverage)), workload, params);
-        let stash = run_case(machine_with(DirSpec::stash(coverage)), workload, params);
-        let base = model.dynamic_pj(&counts_of(&ideal));
-        let stash_counts = counts_of(&stash);
-        table.row(vec![
-            workload.name().to_string(),
-            f3(model.dynamic_pj(&counts_of(&sparse)) / base),
-            f3(model.dynamic_pj(&stash_counts) / base),
-            f3(stash_counts.dir_accesses as f64 * model.dir_access_pj / 1e6),
-            f3(stash_counts.flit_hops as f64 * model.flit_hop_pj / 1e6),
-        ]);
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e13_energy");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("energy")
 }

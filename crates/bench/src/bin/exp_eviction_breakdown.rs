@@ -2,41 +2,12 @@
 //! coverage — how many are silent (private victims, the stash mechanism)
 //! vs invalidating (shared victims), and how many invalidations the
 //! private-first policy saved relative to conventional sparse.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, Workload};
-use stashdir_bench::{f2, machine_with, n0, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let mut table = Table::new(
-        "E5 / Fig C — stash eviction breakdown at 1/8 coverage",
-        &[
-            "workload",
-            "evictions",
-            "silent",
-            "invalidating",
-            "silent_frac",
-            "sparse_copies_lost",
-            "stash_copies_lost",
-        ],
-    );
-    for workload in Workload::suite() {
-        let stash = run_case(machine_with(DirSpec::stash(coverage)), workload, params);
-        let sparse = run_case(machine_with(DirSpec::sparse(coverage)), workload, params);
-        let silent = stash.stat("dir.silent_evictions");
-        let inval = stash.stat("dir.invalidating_evictions");
-        table.row(vec![
-            workload.name().to_string(),
-            n0(silent + inval),
-            n0(silent),
-            n0(inval),
-            f2(stash.silent_eviction_fraction()),
-            n0(sparse.stat("dir.copies_invalidated")),
-            n0(stash.stat("dir.copies_invalidated")),
-        ]);
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e5_eviction_breakdown");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("eviction_breakdown")
 }

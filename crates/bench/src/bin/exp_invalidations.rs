@@ -2,38 +2,12 @@
 //! operations vs coverage. The cost the stash directory removes: sparse
 //! explodes as coverage shrinks, stash stays near zero (only shared
 //! victims still invalidate).
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, Workload};
-use stashdir_bench::{f2, machine_with, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let sweep = CoverageRatio::sweep();
-    let mut headers: Vec<String> = vec!["workload".into()];
-    for c in &sweep {
-        headers.push(format!("sparse@{c}"));
-    }
-    for c in &sweep {
-        headers.push(format!("stash@{c}"));
-    }
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(
-        "E4 / Fig B — directory-induced invalidations per 1k ops vs coverage",
-        &header_refs,
-    );
-    for workload in Workload::suite() {
-        let mut row = vec![workload.name().to_string()];
-        for &coverage in &sweep {
-            let r = run_case(machine_with(DirSpec::sparse(coverage)), workload, params);
-            row.push(f2(r.invalidations_per_kop()));
-        }
-        for &coverage in &sweep {
-            let r = run_case(machine_with(DirSpec::stash(coverage)), workload, params);
-            row.push(f2(r.invalidations_per_kop()));
-        }
-        table.row(row);
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e4_invalidations");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("invalidations")
 }

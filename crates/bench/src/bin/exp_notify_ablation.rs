@@ -4,60 +4,12 @@
 //! clean drops, stale stash bits linger and demand misses burn
 //! all-core broadcasts that find nobody. This quantifies why the design
 //! wants replacement hints.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, Machine, SystemConfig, Workload};
-use stashdir_bench::{f2, f3, n0, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let workloads = [
-        Workload::DataParallel,
-        Workload::Canneal,
-        Workload::Fft,
-        Workload::ReadMostly,
-    ];
-    let mut table = Table::new(
-        "E14 / Fig K — clean-eviction notification ablation (stash at 1/8)",
-        &[
-            "workload",
-            "notify",
-            "norm_time",
-            "discoveries",
-            "found",
-            "stale",
-            "stale_frac",
-        ],
-    );
-    for workload in workloads {
-        let ideal = {
-            let cfg = SystemConfig::default().with_dir(DirSpec::FullMap);
-            let traces = workload.generate(cfg.cores, params.ops, params.seed);
-            let r = Machine::new(cfg).run(traces);
-            r.assert_clean();
-            r.cycles as f64
-        };
-        for notify in [true, false] {
-            let mut cfg = SystemConfig::default().with_dir(DirSpec::stash(coverage));
-            cfg.notify_clean_evictions = notify;
-            let traces = workload.generate(cfg.cores, params.ops, params.seed);
-            let r = Machine::new(cfg).run(traces);
-            r.assert_clean();
-            let found = r.stat("bank.discoveries_found");
-            let stale = r.stat("bank.discoveries_stale");
-            let total = found + stale;
-            table.row(vec![
-                workload.name().to_string(),
-                notify.to_string(),
-                f3(r.cycles as f64 / ideal),
-                n0(total),
-                n0(found),
-                n0(stale),
-                f2(if total == 0.0 { 0.0 } else { stale / total }),
-            ]);
-        }
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e14_notify");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("notify_ablation")
 }

@@ -5,55 +5,12 @@
 //! Expected shape (the paper's claim): sparse degrades steeply once
 //! coverage drops below the working set; stash stays within a few percent
 //! of ideal down to 1/8 coverage and below.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, Workload};
-use stashdir_bench::{f3, geomean, machine_with, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let sweep = CoverageRatio::sweep();
-
-    let mut headers: Vec<String> = vec!["workload".into()];
-    for c in &sweep {
-        headers.push(format!("sparse@{c}"));
-    }
-    for c in &sweep {
-        headers.push(format!("stash@{c}"));
-    }
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(
-        format!(
-            "E3 / Fig A — normalized execution time vs coverage (16 cores x {} ops, 1.0 = full-map)",
-            params.ops
-        ),
-        &header_refs,
-    );
-
-    let mut sparse_cols: Vec<Vec<f64>> = vec![Vec::new(); sweep.len()];
-    let mut stash_cols: Vec<Vec<f64>> = vec![Vec::new(); sweep.len()];
-    for workload in Workload::suite() {
-        let ideal = run_case(machine_with(DirSpec::FullMap), workload, params).cycles as f64;
-        let mut row = vec![workload.name().to_string()];
-        for (i, &coverage) in sweep.iter().enumerate() {
-            let r = run_case(machine_with(DirSpec::sparse(coverage)), workload, params);
-            let norm = r.cycles as f64 / ideal;
-            sparse_cols[i].push(norm);
-            row.push(f3(norm));
-        }
-        for (i, &coverage) in sweep.iter().enumerate() {
-            let r = run_case(machine_with(DirSpec::stash(coverage)), workload, params);
-            let norm = r.cycles as f64 / ideal;
-            stash_cols[i].push(norm);
-            row.push(f3(norm));
-        }
-        table.row(row);
-        eprintln!("[{workload} done]");
-    }
-    let mut gm = vec!["geomean".to_string()];
-    gm.extend(sparse_cols.iter().map(|c| f3(geomean(c))));
-    gm.extend(stash_cols.iter().map(|c| f3(geomean(c))));
-    table.row(gm);
-
-    table.print();
-    table.save_csv("e3_perf_vs_coverage");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("perf_vs_coverage")
 }

@@ -3,54 +3,12 @@
 //! rule itself. Plain LRU and random selection still drop private
 //! victims silently when they happen to be chosen — but they also pick
 //! shared victims that must invalidate.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirReplPolicy, DirSpec, Workload};
-use stashdir_bench::{f2, f3, machine_with, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let policies = [
-        ("private-first-lru", DirReplPolicy::PrivateFirstLru),
-        ("plain-lru", DirReplPolicy::Lru),
-        ("random", DirReplPolicy::Random),
-    ];
-    let workloads = [
-        Workload::Lu,
-        Workload::ReadMostly,
-        Workload::Stencil,
-        Workload::ProducerConsumer,
-    ];
-
-    let mut table = Table::new(
-        "E11 / Fig H — stash victim-selection ablation at 1/8 coverage",
-        &[
-            "workload",
-            "policy",
-            "norm_time",
-            "silent_frac",
-            "copies_lost",
-        ],
-    );
-    for workload in workloads {
-        let ideal = run_case(machine_with(DirSpec::FullMap), workload, params).cycles as f64;
-        for (name, repl) in policies {
-            let dir = DirSpec::Stash {
-                coverage,
-                assoc: 8,
-                repl,
-            };
-            let r = run_case(machine_with(dir), workload, params);
-            table.row(vec![
-                workload.name().to_string(),
-                name.to_string(),
-                f3(r.cycles as f64 / ideal),
-                f2(r.silent_eviction_fraction()),
-                f2(r.stat("dir.copies_invalidated")),
-            ]);
-        }
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e11_repl_ablation");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("repl_ablation")
 }

@@ -2,54 +2,12 @@
 //! 1/8 coverage as the core count grows (16 → 32 → 64). Discovery is a
 //! broadcast, so this is also the stress test of the paper's claim that
 //! broadcast overhead stays insignificant at scale.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, SystemConfig, Workload};
-use stashdir_bench::{f2, f3, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let core_counts = [16u16, 32, 64];
-    let workloads = [
-        Workload::DataParallel,
-        Workload::Stencil,
-        Workload::Migratory,
-    ];
-
-    let mut table = Table::new(
-        "E9 / Fig G — scalability at 1/8 coverage (normalized to full-map at each core count)",
-        &[
-            "workload",
-            "cores",
-            "sparse_norm",
-            "stash_norm",
-            "stash_disc/kop",
-        ],
-    );
-    for workload in workloads {
-        for &cores in &core_counts {
-            let base = SystemConfig::default().with_cores(cores);
-            let ideal = run_case(base.clone().with_dir(DirSpec::FullMap), workload, params);
-            let sparse = run_case(
-                base.clone().with_dir(DirSpec::sparse(coverage)),
-                workload,
-                params,
-            );
-            let stash = run_case(
-                base.clone().with_dir(DirSpec::stash(coverage)),
-                workload,
-                params,
-            );
-            table.row(vec![
-                workload.name().to_string(),
-                cores.to_string(),
-                f3(sparse.cycles as f64 / ideal.cycles as f64),
-                f3(stash.cycles as f64 / ideal.cycles as f64),
-                f2(stash.discoveries_per_kop()),
-            ]);
-            eprintln!("[{workload} @ {cores} cores done]");
-        }
-    }
-    table.print();
-    table.save_csv("e9_scalability");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("scalability")
 }

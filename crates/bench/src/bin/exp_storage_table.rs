@@ -3,73 +3,12 @@
 //! directory without compromising performance** — this table does the bit
 //! accounting, including the stash bits the mechanism adds to every LLC
 //! line.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CostParams, CoverageRatio, DirSpec, SystemConfig};
-use stashdir_bench::{f2, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let config = SystemConfig::default();
-    let tracked = config.tracked_blocks_per_slice();
-    let params = config.cost_params();
-    let per_slice = CostParams {
-        llc_lines: params.llc_lines / config.cores as u64,
-        ..params
-    };
-
-    let mut table = Table::new(
-        "E10 / Table 3 — directory storage per slice (16-core model, 48-bit PA)",
-        &[
-            "organization",
-            "entries",
-            "entry_bits",
-            "extra_bits",
-            "total_KiB",
-            "vs sparse@1",
-        ],
-    );
-
-    let sparse_full = DirSpec::sparse(CoverageRatio::FULL)
-        .slice_config(tracked)
-        .build(0);
-    let baseline_bits = sparse_full.storage_bits(&per_slice) as f64;
-
-    let cases: Vec<(String, DirSpec)> =
-        std::iter::once(("sparse@1".to_string(), DirSpec::sparse(CoverageRatio::FULL)))
-            .chain(CoverageRatio::sweep().into_iter().flat_map(|c| {
-                [
-                    (format!("sparse@{c}"), DirSpec::sparse(c)),
-                    (format!("stash@{c}"), DirSpec::stash(c)),
-                ]
-            }))
-            .collect();
-
-    let mut seen = std::collections::HashSet::new();
-    for (label, spec) in cases {
-        if !seen.insert(label.clone()) {
-            continue;
-        }
-        let dir = spec.slice_config(tracked).build(0);
-        let total = dir.storage_bits(&per_slice);
-        let entry_bits = per_slice.bits_per_entry() * dir.capacity() as u64;
-        table.row(vec![
-            label,
-            dir.capacity().to_string(),
-            entry_bits.to_string(),
-            (total - entry_bits).to_string(),
-            f2(total as f64 / 8.0 / 1024.0),
-            f2(total as f64 / baseline_bits),
-        ]);
-    }
-    table.print();
-    table.save_csv("e10_storage");
-    println!(
-        "stash@1/8 costs ~{:.0}% of the conventional sparse@1 directory it \
-         replaces (per E3, at equal performance).",
-        100.0
-            * DirSpec::stash(CoverageRatio::new(1, 8))
-                .slice_config(tracked)
-                .build(0)
-                .storage_bits(&per_slice) as f64
-            / baseline_bits
-    );
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("storage_table")
 }

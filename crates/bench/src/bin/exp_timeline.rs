@@ -63,7 +63,16 @@ fn main() {
             .map(|w| f(&w[1]).saturating_sub(f(&w[0])))
             .collect()
     };
-    println!("occupancy  {}", sparkline(&report.timeline.iter().map(|s| s.dir_occupancy).collect::<Vec<_>>()));
+    println!(
+        "occupancy  {}",
+        sparkline(
+            &report
+                .timeline
+                .iter()
+                .map(|s| s.dir_occupancy)
+                .collect::<Vec<_>>()
+        )
+    );
     println!("hides/int  {}", sparkline(&deltas(|s| s.silent_evictions)));
     println!("disc/int   {}", sparkline(&deltas(|s| s.discoveries)));
     println!(

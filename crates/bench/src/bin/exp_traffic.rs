@@ -2,46 +2,12 @@
 //! full-map, with the message-class breakdown that shows where each
 //! organization spends its links: sparse on invalidations + refetches,
 //! stash on (rare) discovery broadcasts.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{CoverageRatio, DirSpec, SimReport, Workload};
-use stashdir_bench::{f3, machine_with, n0, run_case, Params, Table};
+use std::process::ExitCode;
 
-fn class_flits(r: &SimReport, class: &str) -> f64 {
-    r.stat(&format!("noc.flits.{class}"))
-}
-
-fn main() {
-    let params = Params::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let mut table = Table::new(
-        "E7 / Fig E — NoC traffic at 1/8 coverage (flit-hops normalized to full-map; flits by class)",
-        &[
-            "workload",
-            "sparse_norm",
-            "stash_norm",
-            "sparse_inv_flits",
-            "stash_inv_flits",
-            "stash_disc_flits",
-            "sparse_data_flits",
-            "stash_data_flits",
-        ],
-    );
-    for workload in Workload::suite() {
-        let ideal = run_case(machine_with(DirSpec::FullMap), workload, params);
-        let sparse = run_case(machine_with(DirSpec::sparse(coverage)), workload, params);
-        let stash = run_case(machine_with(DirSpec::stash(coverage)), workload, params);
-        table.row(vec![
-            workload.name().to_string(),
-            f3(sparse.flit_hops() / ideal.flit_hops()),
-            f3(stash.flit_hops() / ideal.flit_hops()),
-            n0(class_flits(&sparse, "inv")),
-            n0(class_flits(&stash, "inv")),
-            n0(class_flits(&stash, "discovery")),
-            n0(class_flits(&sparse, "data")),
-            n0(class_flits(&stash, "data")),
-        ]);
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e7_traffic");
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("traffic")
 }

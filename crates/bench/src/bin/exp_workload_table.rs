@@ -1,32 +1,12 @@
 //! E2 (Table 2): workload characterization — the sharing properties that
 //! drive directory behavior, led by the private-block fraction the stash
 //! mechanism exploits.
+//!
+//! Runs on the parallel harness; pass `--help` for the shared flags
+//! (`--jobs`, `--ops`, `--seed`, `--resume`, ...).
 
-use stashdir::{Characterization, Workload};
-use stashdir_bench::{Params, Table};
+use std::process::ExitCode;
 
-fn main() {
-    let params = Params::default();
-    let mut headers = vec!["workload"];
-    headers.extend(Characterization::headers());
-    let mut table = Table::new(
-        format!(
-            "E2 / Table 2 — workload characterization (16 cores x {} ops)",
-            params.ops
-        ),
-        &headers,
-    );
-    for workload in Workload::suite() {
-        let traces = workload.generate(16, params.ops, params.seed);
-        let c = Characterization::of(&traces);
-        let mut row = vec![workload.name().to_string()];
-        row.extend(c.row());
-        table.row(row);
-    }
-    table.print();
-    table.save_csv("e2_workloads");
-    println!(
-        "Reading the table: high private_frac + low sharing_degree is the \
-         regime where silent eviction pays off."
-    );
+fn main() -> ExitCode {
+    stashdir_harness::run_single_experiment_cli("workload_table")
 }

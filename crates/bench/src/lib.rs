@@ -1,211 +1,28 @@
-//! The experiment harness for the Stash Directory reproduction.
+//! The experiment front end for the Stash Directory reproduction.
 //!
 //! One binary per experiment (`src/bin/exp_*.rs`), each regenerating one
 //! table or figure from `DESIGN.md`'s per-experiment index. Binaries
 //! print a human-readable table to stdout and write machine-readable CSV
 //! under `results/`.
 //!
-//! Run everything with:
+//! The grid expansion, parallel execution, manifests and table assembly
+//! all live in [`stashdir_harness`]; the E1–E14 binaries here are thin
+//! wrappers over [`stashdir_harness::run_single_experiment_cli`], and
+//! the whole suite runs in one parallel invocation via:
 //!
 //! ```sh
-//! for exp in exp_config_table exp_workload_table exp_perf_vs_coverage \
-//!            exp_invalidations exp_eviction_breakdown exp_discovery \
-//!            exp_traffic exp_assoc_sensitivity exp_scalability \
-//!            exp_storage_table exp_repl_ablation exp_cuckoo; do
-//!     cargo run --release -p stashdir-bench --bin $exp
-//! done
+//! cargo run --release -p stashdir-harness --bin sweep -- --all
 //! ```
 //!
 //! Environment knobs: `STASHDIR_OPS` (operations per core, default
-//! 10000), `STASHDIR_SEED` (default 7).
+//! 10000), `STASHDIR_SEED` (default 7), `STASHDIR_JOBS` (worker threads,
+//! default all cores).
+//!
+//! This crate re-exports the harness's shared helpers so the standalone
+//! binaries (`exp_limited_ptr`, `exp_timeline`, `simulate`) and any
+//! external users of `stashdir_bench` keep their original API.
 
-use stashdir::{DirSpec, Machine, SimReport, SystemConfig, Workload};
-use std::fmt::Write as _;
-use std::fs;
-use std::path::PathBuf;
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
-/// Shared run parameters, overridable from the environment.
-#[derive(Debug, Clone, Copy)]
-pub struct Params {
-    /// Operations per core per run.
-    pub ops: usize,
-    /// Workload generator seed.
-    pub seed: u64,
-}
-
-impl Default for Params {
-    fn default() -> Self {
-        Params {
-            ops: env_usize("STASHDIR_OPS", 10_000),
-            seed: env_usize("STASHDIR_SEED", 7) as u64,
-        }
-    }
-}
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Runs one configuration over one workload and asserts the run was
-/// coherent.
-pub fn run_case(config: SystemConfig, workload: Workload, params: Params) -> SimReport {
-    let traces = workload.generate(config.cores, params.ops, params.seed);
-    let report = Machine::new(config).run(traces);
-    report.assert_clean();
-    report
-}
-
-/// Convenience: the default 16-core machine with `dir`.
-pub fn machine_with(dir: DirSpec) -> SystemConfig {
-    SystemConfig::default().with_dir(dir)
-}
-
-/// Geometric mean of positive values (how the paper aggregates
-/// normalized execution times).
-pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of nothing");
-    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (log_sum / values.len() as f64).exp()
-}
-
-/// A printable/saveable result table.
-#[derive(Debug, Clone)]
-pub struct Table {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given title and column headers.
-    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
-        Table {
-            title: title.into(),
-            headers: headers.iter().map(|h| h.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cell count differs from the header count.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
-        self.rows.push(cells);
-    }
-
-    /// Renders the table with aligned columns.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "## {}\n", self.title);
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
-        let _ = writeln!(
-            out,
-            "{}",
-            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
-        );
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", fmt_row(row, &widths));
-        }
-        out
-    }
-
-    /// Prints the table to stdout.
-    pub fn print(&self) {
-        println!("{}", self.render());
-    }
-
-    /// Writes the table as CSV under `results/<name>.csv`, returning the
-    /// path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the `results/` directory cannot be created or written.
-    pub fn save_csv(&self, name: &str) -> PathBuf {
-        let dir = PathBuf::from("results");
-        fs::create_dir_all(&dir).expect("create results/");
-        let path = dir.join(format!("{name}.csv"));
-        let mut csv = self.headers.join(",") + "\n";
-        for row in &self.rows {
-            csv.push_str(&row.join(","));
-            csv.push('\n');
-        }
-        fs::write(&path, csv).expect("write csv");
-        println!("[saved {}]", path.display());
-        path
-    }
-}
-
-/// Formats a float with 3 decimals for table cells.
-pub fn f3(v: f64) -> String {
-    format!("{v:.3}")
-}
-
-/// Formats a float with 2 decimals for table cells.
-pub fn f2(v: f64) -> String {
-    format!("{v:.2}")
-}
-
-/// Formats a count (integer-valued f64) for table cells.
-pub fn n0(v: f64) -> String {
-    format!("{}", v.round() as i64)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn geomean_of_uniform_is_identity() {
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn geomean_is_between_min_and_max() {
-        let g = geomean(&[1.0, 4.0]);
-        assert!((g - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new("demo", &["a", "long_header"]);
-        t.row(vec!["1".into(), "2".into()]);
-        let r = t.render();
-        assert!(r.contains("## demo"));
-        assert!(r.contains("long_header"));
-        assert!(r.lines().count() >= 4);
-    }
-
-    #[test]
-    #[should_panic(expected = "ragged")]
-    fn ragged_rows_panic() {
-        let mut t = Table::new("demo", &["a", "b"]);
-        t.row(vec!["1".into()]);
-    }
-
-    #[test]
-    fn formatting_helpers() {
-        assert_eq!(f3(1.23456), "1.235");
-        assert_eq!(f2(1.23456), "1.23");
-        assert_eq!(n0(41.7), "42");
-    }
-}
+pub use stashdir_harness::{f2, f3, geomean, machine_with, n0, run_case, Params, Table};

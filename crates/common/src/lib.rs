@@ -23,6 +23,7 @@
 pub mod addr;
 pub mod cycles;
 pub mod ids;
+pub mod json;
 pub mod ops;
 pub mod rng;
 pub mod sharers;

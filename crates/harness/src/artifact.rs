@@ -1,0 +1,191 @@
+//! Structured per-case artifacts: deterministic JSON serialization of
+//! [`SimReport`]s, written alongside the run manifest so downstream
+//! tooling (plots, regression diffs) never has to re-run a simulation.
+//!
+//! Serialization is *canonical*: stats are emitted in `StatSink`'s sorted
+//! key order and numbers in shortest-roundtrip form, so the same report
+//! always produces byte-identical text regardless of which worker thread
+//! produced it — the property the parallel-equals-serial test pins down.
+
+use stashdir::common::json::Value;
+use stashdir::sim::report::TimelineSample;
+use stashdir::{SimReport, StatSink};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Serializes a report to its canonical JSON tree.
+pub fn report_to_json(report: &SimReport) -> Value {
+    let sink = Value::Object(
+        report
+            .sink
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Number(v)))
+            .collect(),
+    );
+    let timeline = Value::array(report.timeline.iter().map(sample_to_json).collect());
+    let violations = Value::array(
+        report
+            .violations
+            .iter()
+            .map(|v| Value::from(v.as_str()))
+            .collect(),
+    );
+    Value::object(vec![
+        ("cycles".into(), Value::from(report.cycles)),
+        ("completed_ops".into(), Value::from(report.completed_ops)),
+        ("violations".into(), violations),
+        ("stats".into(), sink),
+        ("timeline".into(), timeline),
+    ])
+}
+
+/// Rebuilds a report from its canonical JSON tree.
+pub fn report_from_json(value: &Value) -> Option<SimReport> {
+    let cycles = value.get("cycles")?.as_u64()?;
+    let completed_ops = value.get("completed_ops")?.as_u64()?;
+    let violations = value
+        .get("violations")?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<Vec<_>>>()?;
+    let sink: StatSink = value
+        .get("stats")?
+        .as_object()?
+        .iter()
+        .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+        .collect::<Option<Vec<_>>>()?
+        .into_iter()
+        .collect();
+    let timeline = value
+        .get("timeline")?
+        .as_array()?
+        .iter()
+        .map(sample_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    Some(SimReport {
+        cycles,
+        completed_ops,
+        violations,
+        sink,
+        timeline,
+    })
+}
+
+fn sample_to_json(s: &TimelineSample) -> Value {
+    Value::object(vec![
+        ("cycle".into(), Value::from(s.cycle)),
+        ("dir_occupancy".into(), Value::from(s.dir_occupancy)),
+        ("ops".into(), Value::from(s.ops)),
+        ("silent_evictions".into(), Value::from(s.silent_evictions)),
+        (
+            "invalidating_evictions".into(),
+            Value::from(s.invalidating_evictions),
+        ),
+        ("discoveries".into(), Value::from(s.discoveries)),
+    ])
+}
+
+fn sample_from_json(value: &Value) -> Option<TimelineSample> {
+    Some(TimelineSample {
+        cycle: value.get("cycle")?.as_u64()?,
+        dir_occupancy: value.get("dir_occupancy")?.as_u64()?,
+        ops: value.get("ops")?.as_u64()?,
+        silent_evictions: value.get("silent_evictions")?.as_u64()?,
+        invalidating_evictions: value.get("invalidating_evictions")?.as_u64()?,
+        discoveries: value.get("discoveries")?.as_u64()?,
+    })
+}
+
+/// The artifact path for a case inside a run directory.
+pub fn case_path(run_dir: &Path, case_id: &str) -> PathBuf {
+    run_dir.join("cases").join(format!("{case_id}.json"))
+}
+
+/// Writes a case's report artifact (creating `cases/` as needed).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_report(run_dir: &Path, case_id: &str, report: &SimReport) -> io::Result<PathBuf> {
+    let path = case_path(run_dir, case_id);
+    std::fs::create_dir_all(path.parent().expect("case path has parent"))?;
+    std::fs::write(&path, report_to_json(report).render_pretty())?;
+    Ok(path)
+}
+
+/// Loads a case's report artifact.
+///
+/// # Errors
+///
+/// Returns an I/O error when the file is missing or unreadable, or an
+/// `InvalidData` error when it does not parse back into a report.
+pub fn load_report(run_dir: &Path, case_id: &str) -> io::Result<SimReport> {
+    let path = case_path(run_dir, case_id);
+    let text = std::fs::read_to_string(&path)?;
+    let value = Value::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    report_from_json(&value).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed report artifact {}", path.display()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SimReport {
+        let mut sink = StatSink::new();
+        sink.put("dir.silent_evictions", 42.0);
+        sink.put("core.mean_miss_latency", 17.25);
+        SimReport {
+            cycles: 123_456,
+            completed_ops: 16_000,
+            violations: vec!["example, with comma".into()],
+            sink,
+            timeline: vec![TimelineSample {
+                cycle: 50_000,
+                dir_occupancy: 512,
+                ops: 9_000,
+                silent_evictions: 100,
+                invalidating_evictions: 3,
+                discoveries: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let r = sample_report();
+        let v = report_to_json(&r);
+        let back = report_from_json(&Value::parse(&v.render_pretty()).unwrap()).unwrap();
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.completed_ops, r.completed_ops);
+        assert_eq!(back.violations, r.violations);
+        assert_eq!(back.sink, r.sink);
+        assert_eq!(back.timeline, r.timeline);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let r = sample_report();
+        assert_eq!(
+            report_to_json(&r).render_pretty(),
+            report_to_json(&r.clone()).render_pretty()
+        );
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join(format!("stashdir_artifact_{}", std::process::id()));
+        let r = sample_report();
+        let path = save_report(&dir, "case-x", &r).unwrap();
+        assert!(path.ends_with("cases/case-x.json"));
+        let back = load_report(&dir, "case-x").unwrap();
+        assert_eq!(back.sink, r.sink);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! Configuration digests: a stable 64-bit fingerprint of everything that
+//! determines a case's result, used for case identity, manifest
+//! validation and resume safety.
+
+/// FNV-1a 64-bit hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hexadecimal rendering of a digest (16 lowercase digits).
+pub fn hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// Short (8-digit) hexadecimal rendering, used inside case ids.
+pub fn short_hex(digest: u64) -> String {
+    format!("{:08x}", digest >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn renderings_are_fixed_width() {
+        assert_eq!(hex(0x1).len(), 16);
+        assert_eq!(short_hex(0x1_0000_0000).len(), 8);
+        assert_eq!(short_hex(0xdead_beef_0000_0000), "deadbeef");
+    }
+}

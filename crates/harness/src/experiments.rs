@@ -1,0 +1,1011 @@
+//! The experiment registry: every table and figure of the reproduction
+//! (E1–E14) expressed as *data* — a function contributing simulation
+//! cases to a run, and a function assembling the table back out of the
+//! shared result set.
+//!
+//! This is what replaces the per-binary serial grid loops: the sweep
+//! collects cases from every selected experiment, deduplicates them by
+//! [`CaseSpec::id`] (E3's full-map ideals are E7's and E13's too), runs
+//! the union once on the pool, and then each experiment assembles its
+//! table from the same results a serial run would have produced — the
+//! tables and CSVs are identical, column for column.
+
+use crate::params::{geomean, machine_with, Params};
+use crate::plan::CaseSpec;
+use crate::table::{f2, f3, n0, Table};
+use stashdir::{
+    Characterization, CostParams, CoverageRatio, DirReplPolicy, DirSpec, EnergyCounts, EnergyModel,
+    SimReport, SystemConfig, Workload,
+};
+use std::collections::HashMap;
+
+/// Completed reports keyed by [`CaseSpec::id`].
+pub type ResultSet = HashMap<String, SimReport>;
+
+/// An assembled experiment: the table plus an optional trailing note
+/// (printed after the CSV save line, exactly like the serial binaries).
+pub struct Assembled {
+    /// The result table.
+    pub table: Table,
+    /// Commentary printed after the table, if any.
+    pub note: Option<String>,
+}
+
+/// One registered experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Stable selection key (`--plan` value), e.g. `perf_vs_coverage`.
+    pub key: &'static str,
+    /// Paper anchor, e.g. `E3`.
+    pub code: &'static str,
+    /// CSV file stem under `results/`, e.g. `e3_perf_vs_coverage`.
+    pub csv: &'static str,
+    /// One-line description for `--list`.
+    pub summary: &'static str,
+    cases_fn: fn(Params) -> Vec<CaseSpec>,
+    assemble_fn: fn(Params, &ResultSet) -> Assembled,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("key", &self.key)
+            .field("code", &self.code)
+            .field("csv", &self.csv)
+            .finish()
+    }
+}
+
+impl Experiment {
+    /// The simulation cases this experiment needs at the given params.
+    pub fn cases(&self, params: Params) -> Vec<CaseSpec> {
+        (self.cases_fn)(params)
+    }
+
+    /// Assembles the experiment's table from completed results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a needed case is missing from `results`; the runner
+    /// checks completeness (see [`crate::runner`]) before calling this.
+    pub fn assemble(&self, params: Params, results: &ResultSet) -> Assembled {
+        (self.assemble_fn)(params, results)
+    }
+}
+
+/// All experiments, in suite (E1..E14) order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            key: "config_table",
+            code: "E1",
+            csv: "e1_config",
+            summary: "system configuration table (no simulation)",
+            cases_fn: |_| Vec::new(),
+            assemble_fn: e1_assemble,
+        },
+        Experiment {
+            key: "workload_table",
+            code: "E2",
+            csv: "e2_workloads",
+            summary: "workload characterization table (trace analysis only)",
+            cases_fn: |_| Vec::new(),
+            assemble_fn: e2_assemble,
+        },
+        Experiment {
+            key: "perf_vs_coverage",
+            code: "E3",
+            csv: "e3_perf_vs_coverage",
+            summary: "normalized execution time vs coverage, sparse vs stash",
+            cases_fn: e3_cases,
+            assemble_fn: e3_assemble,
+        },
+        Experiment {
+            key: "invalidations",
+            code: "E4",
+            csv: "e4_invalidations",
+            summary: "directory-induced invalidations per 1k ops vs coverage",
+            cases_fn: e4_cases,
+            assemble_fn: e4_assemble,
+        },
+        Experiment {
+            key: "eviction_breakdown",
+            code: "E5",
+            csv: "e5_eviction_breakdown",
+            summary: "silent vs invalidating stash evictions at 1/8 coverage",
+            cases_fn: e5_cases,
+            assemble_fn: e5_assemble,
+        },
+        Experiment {
+            key: "discovery",
+            code: "E6",
+            csv: "e6_discovery",
+            summary: "discovery broadcast behavior at 1/8 coverage",
+            cases_fn: e6_cases,
+            assemble_fn: e6_assemble,
+        },
+        Experiment {
+            key: "traffic",
+            code: "E7",
+            csv: "e7_traffic",
+            summary: "NoC flit-hops and message-class breakdown at 1/8 coverage",
+            cases_fn: e7_cases,
+            assemble_fn: e7_assemble,
+        },
+        Experiment {
+            key: "assoc_sensitivity",
+            code: "E8",
+            csv: "e8_assoc_sensitivity",
+            summary: "sensitivity to directory associativity at 1/8 coverage",
+            cases_fn: e8_cases,
+            assemble_fn: e8_assemble,
+        },
+        Experiment {
+            key: "scalability",
+            code: "E9",
+            csv: "e9_scalability",
+            summary: "16/32/64-core scaling at 1/8 coverage",
+            cases_fn: e9_cases,
+            assemble_fn: e9_assemble,
+        },
+        Experiment {
+            key: "storage_table",
+            code: "E10",
+            csv: "e10_storage",
+            summary: "directory storage accounting (no simulation)",
+            cases_fn: |_| Vec::new(),
+            assemble_fn: e10_assemble,
+        },
+        Experiment {
+            key: "repl_ablation",
+            code: "E11",
+            csv: "e11_repl_ablation",
+            summary: "stash victim-selection policy ablation",
+            cases_fn: e11_cases,
+            assemble_fn: e11_assemble,
+        },
+        Experiment {
+            key: "cuckoo",
+            code: "E12",
+            csv: "e12_cuckoo",
+            summary: "stash vs cuckoo vs sparse at matched entry counts",
+            cases_fn: e12_cases,
+            assemble_fn: e12_assemble,
+        },
+        Experiment {
+            key: "energy",
+            code: "E13",
+            csv: "e13_energy",
+            summary: "first-order dynamic energy at 1/8 coverage",
+            cases_fn: e13_cases,
+            assemble_fn: e13_assemble,
+        },
+        Experiment {
+            key: "notify_ablation",
+            code: "E14",
+            csv: "e14_notify",
+            summary: "clean-eviction notification ablation",
+            cases_fn: e14_cases,
+            assemble_fn: e14_assemble,
+        },
+    ]
+}
+
+/// Looks up an experiment by key.
+pub fn find(key: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.key == key)
+}
+
+/// A case on the default 16-core machine with `dir`.
+fn case(dir: DirSpec, workload: Workload, p: Params) -> CaseSpec {
+    CaseSpec::new(machine_with(dir), workload, p.ops, p.seed)
+}
+
+/// A case on a `cores`-core machine with `dir`.
+fn scaled_case(dir: DirSpec, cores: u16, workload: Workload, p: Params) -> CaseSpec {
+    CaseSpec::new(
+        SystemConfig::default().with_cores(cores).with_dir(dir),
+        workload,
+        p.ops,
+        p.seed,
+    )
+}
+
+/// A stash@1/8 case with clean-eviction notification toggled (E14).
+fn notify_case(notify: bool, workload: Workload, p: Params) -> CaseSpec {
+    let mut cfg = SystemConfig::default().with_dir(DirSpec::stash(CoverageRatio::new(1, 8)));
+    cfg.notify_clean_evictions = notify;
+    CaseSpec::new(cfg, workload, p.ops, p.seed)
+}
+
+/// The report for `spec`.
+///
+/// # Panics
+///
+/// Panics when absent — the runner guarantees completeness before
+/// assembling.
+fn report<'a>(results: &'a ResultSet, spec: &CaseSpec) -> &'a SimReport {
+    results
+        .get(&spec.id())
+        .unwrap_or_else(|| panic!("missing result for case {}", spec.id()))
+}
+
+fn eighth() -> CoverageRatio {
+    CoverageRatio::new(1, 8)
+}
+
+// ---------------------------------------------------------------- E1
+
+fn e1_assemble(_p: Params, _results: &ResultSet) -> Assembled {
+    let config = SystemConfig::default().with_dir(DirSpec::stash(eighth()));
+    let mut table = Table::new(
+        "E1 / Table 1 — system configuration (16-core CMP model)",
+        &["parameter", "value"],
+    );
+    for (k, v) in config.table() {
+        table.row(vec![k, v]);
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E2
+
+fn e2_assemble(p: Params, _results: &ResultSet) -> Assembled {
+    let mut headers = vec!["workload"];
+    headers.extend(Characterization::headers());
+    let mut table = Table::new(
+        format!(
+            "E2 / Table 2 — workload characterization (16 cores x {} ops)",
+            p.ops
+        ),
+        &headers,
+    );
+    for workload in Workload::suite() {
+        let traces = workload.generate(16, p.ops, p.seed);
+        let c = Characterization::of(&traces);
+        let mut row = vec![workload.name().to_string()];
+        row.extend(c.row());
+        table.row(row);
+    }
+    Assembled {
+        table,
+        note: Some(
+            "Reading the table: high private_frac + low sharing_degree is the \
+             regime where silent eviction pays off."
+                .to_string(),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------- E3
+
+fn e3_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in Workload::suite() {
+        cases.push(case(DirSpec::FullMap, workload, p));
+        for coverage in CoverageRatio::sweep() {
+            cases.push(case(DirSpec::sparse(coverage), workload, p));
+        }
+        for coverage in CoverageRatio::sweep() {
+            cases.push(case(DirSpec::stash(coverage), workload, p));
+        }
+    }
+    cases
+}
+
+fn e3_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let sweep = CoverageRatio::sweep();
+    let mut headers: Vec<String> = vec!["workload".into()];
+    for c in &sweep {
+        headers.push(format!("sparse@{c}"));
+    }
+    for c in &sweep {
+        headers.push(format!("stash@{c}"));
+    }
+    let mut table = Table::new(
+        format!(
+            "E3 / Fig A — normalized execution time vs coverage (16 cores x {} ops, 1.0 = full-map)",
+            p.ops
+        ),
+        &headers,
+    );
+
+    let mut sparse_cols: Vec<Vec<f64>> = vec![Vec::new(); sweep.len()];
+    let mut stash_cols: Vec<Vec<f64>> = vec![Vec::new(); sweep.len()];
+    for workload in Workload::suite() {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p)).cycles as f64;
+        let mut row = vec![workload.name().to_string()];
+        for (i, &coverage) in sweep.iter().enumerate() {
+            let r = report(results, &case(DirSpec::sparse(coverage), workload, p));
+            let norm = r.cycles as f64 / ideal;
+            sparse_cols[i].push(norm);
+            row.push(f3(norm));
+        }
+        for (i, &coverage) in sweep.iter().enumerate() {
+            let r = report(results, &case(DirSpec::stash(coverage), workload, p));
+            let norm = r.cycles as f64 / ideal;
+            stash_cols[i].push(norm);
+            row.push(f3(norm));
+        }
+        table.row(row);
+    }
+    let mut gm = vec!["geomean".to_string()];
+    gm.extend(sparse_cols.iter().map(|c| f3(geomean(c))));
+    gm.extend(stash_cols.iter().map(|c| f3(geomean(c))));
+    table.row(gm);
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E4
+
+fn e4_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in Workload::suite() {
+        for coverage in CoverageRatio::sweep() {
+            cases.push(case(DirSpec::sparse(coverage), workload, p));
+        }
+        for coverage in CoverageRatio::sweep() {
+            cases.push(case(DirSpec::stash(coverage), workload, p));
+        }
+    }
+    cases
+}
+
+fn e4_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let sweep = CoverageRatio::sweep();
+    let mut headers: Vec<String> = vec!["workload".into()];
+    for c in &sweep {
+        headers.push(format!("sparse@{c}"));
+    }
+    for c in &sweep {
+        headers.push(format!("stash@{c}"));
+    }
+    let mut table = Table::new(
+        "E4 / Fig B — directory-induced invalidations per 1k ops vs coverage",
+        &headers,
+    );
+    for workload in Workload::suite() {
+        let mut row = vec![workload.name().to_string()];
+        for &coverage in &sweep {
+            let r = report(results, &case(DirSpec::sparse(coverage), workload, p));
+            row.push(f2(r.invalidations_per_kop()));
+        }
+        for &coverage in &sweep {
+            let r = report(results, &case(DirSpec::stash(coverage), workload, p));
+            row.push(f2(r.invalidations_per_kop()));
+        }
+        table.row(row);
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E5
+
+fn e5_cases(p: Params) -> Vec<CaseSpec> {
+    Workload::suite()
+        .into_iter()
+        .flat_map(|w| {
+            [
+                case(DirSpec::stash(eighth()), w, p),
+                case(DirSpec::sparse(eighth()), w, p),
+            ]
+        })
+        .collect()
+}
+
+fn e5_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E5 / Fig C — stash eviction breakdown at 1/8 coverage",
+        &[
+            "workload",
+            "evictions",
+            "silent",
+            "invalidating",
+            "silent_frac",
+            "sparse_copies_lost",
+            "stash_copies_lost",
+        ],
+    );
+    for workload in Workload::suite() {
+        let stash = report(results, &case(DirSpec::stash(eighth()), workload, p));
+        let sparse = report(results, &case(DirSpec::sparse(eighth()), workload, p));
+        let silent = stash.stat("dir.silent_evictions");
+        let inval = stash.stat("dir.invalidating_evictions");
+        table.row(vec![
+            workload.name().to_string(),
+            n0(silent + inval),
+            n0(silent),
+            n0(inval),
+            f2(stash.silent_eviction_fraction()),
+            n0(sparse.stat("dir.copies_invalidated")),
+            n0(stash.stat("dir.copies_invalidated")),
+        ]);
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E6
+
+fn e6_cases(p: Params) -> Vec<CaseSpec> {
+    Workload::suite()
+        .into_iter()
+        .map(|w| case(DirSpec::stash(eighth()), w, p))
+        .collect()
+}
+
+fn e6_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E6 / Fig D — discovery behavior of the stash directory at 1/8 coverage",
+        &[
+            "workload",
+            "disc/kop",
+            "demand_disc",
+            "found",
+            "stale",
+            "llc_evict_disc",
+            "mean_disc_lat",
+            "hidden_wb",
+        ],
+    );
+    for workload in Workload::suite() {
+        let r = report(results, &case(DirSpec::stash(eighth()), workload, p));
+        table.row(vec![
+            workload.name().to_string(),
+            f2(r.discoveries_per_kop()),
+            n0(r.stat("bank.discoveries")),
+            n0(r.stat("bank.discoveries_found")),
+            n0(r.stat("bank.discoveries_stale")),
+            n0(r.stat("bank.evict_discoveries")),
+            f2(r.stat("bank.mean_discovery_latency")),
+            n0(r.stat("bank.hidden_writebacks")),
+        ]);
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E7
+
+fn e7_cases(p: Params) -> Vec<CaseSpec> {
+    Workload::suite()
+        .into_iter()
+        .flat_map(|w| {
+            [
+                case(DirSpec::FullMap, w, p),
+                case(DirSpec::sparse(eighth()), w, p),
+                case(DirSpec::stash(eighth()), w, p),
+            ]
+        })
+        .collect()
+}
+
+fn e7_assemble(p: Params, results: &ResultSet) -> Assembled {
+    fn class_flits(r: &SimReport, class: &str) -> f64 {
+        r.stat(&format!("noc.flits.{class}"))
+    }
+    let mut table = Table::new(
+        "E7 / Fig E — NoC traffic at 1/8 coverage (flit-hops normalized to full-map; flits by class)",
+        &[
+            "workload",
+            "sparse_norm",
+            "stash_norm",
+            "sparse_inv_flits",
+            "stash_inv_flits",
+            "stash_disc_flits",
+            "sparse_data_flits",
+            "stash_data_flits",
+        ],
+    );
+    for workload in Workload::suite() {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p));
+        let sparse = report(results, &case(DirSpec::sparse(eighth()), workload, p));
+        let stash = report(results, &case(DirSpec::stash(eighth()), workload, p));
+        table.row(vec![
+            workload.name().to_string(),
+            f3(sparse.flit_hops() / ideal.flit_hops()),
+            f3(stash.flit_hops() / ideal.flit_hops()),
+            n0(class_flits(sparse, "inv")),
+            n0(class_flits(stash, "inv")),
+            n0(class_flits(stash, "discovery")),
+            n0(class_flits(sparse, "data")),
+            n0(class_flits(stash, "data")),
+        ]);
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E8
+
+const E8_ASSOCS: [usize; 4] = [2, 4, 8, 16];
+const E8_WORKLOADS: [Workload; 4] = [
+    Workload::DataParallel,
+    Workload::Fft,
+    Workload::Lu,
+    Workload::ReadMostly,
+];
+
+fn e8_sparse(assoc: usize) -> DirSpec {
+    DirSpec::Sparse {
+        coverage: CoverageRatio::new(1, 8),
+        assoc,
+        repl: DirReplPolicy::Lru,
+    }
+}
+
+fn e8_stash(assoc: usize) -> DirSpec {
+    DirSpec::Stash {
+        coverage: CoverageRatio::new(1, 8),
+        assoc,
+        repl: DirReplPolicy::PrivateFirstLru,
+    }
+}
+
+fn e8_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in E8_WORKLOADS {
+        cases.push(case(DirSpec::FullMap, workload, p));
+        for assoc in E8_ASSOCS {
+            cases.push(case(e8_sparse(assoc), workload, p));
+        }
+        for assoc in E8_ASSOCS {
+            cases.push(case(e8_stash(assoc), workload, p));
+        }
+    }
+    cases
+}
+
+fn e8_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut headers: Vec<String> = vec!["workload".into()];
+    for a in E8_ASSOCS {
+        headers.push(format!("sparse_{a}w"));
+    }
+    for a in E8_ASSOCS {
+        headers.push(format!("stash_{a}w"));
+    }
+    let mut table = Table::new(
+        "E8 / Fig F — sensitivity to directory associativity at 1/8 coverage (normalized to full-map)",
+        &headers,
+    );
+    for workload in E8_WORKLOADS {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p)).cycles as f64;
+        let mut row = vec![workload.name().to_string()];
+        for assoc in E8_ASSOCS {
+            let r = report(results, &case(e8_sparse(assoc), workload, p));
+            row.push(f3(r.cycles as f64 / ideal));
+        }
+        for assoc in E8_ASSOCS {
+            let r = report(results, &case(e8_stash(assoc), workload, p));
+            row.push(f3(r.cycles as f64 / ideal));
+        }
+        table.row(row);
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E9
+
+const E9_CORES: [u16; 3] = [16, 32, 64];
+const E9_WORKLOADS: [Workload; 3] = [
+    Workload::DataParallel,
+    Workload::Stencil,
+    Workload::Migratory,
+];
+
+fn e9_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in E9_WORKLOADS {
+        for cores in E9_CORES {
+            cases.push(scaled_case(DirSpec::FullMap, cores, workload, p));
+            cases.push(scaled_case(DirSpec::sparse(eighth()), cores, workload, p));
+            cases.push(scaled_case(DirSpec::stash(eighth()), cores, workload, p));
+        }
+    }
+    cases
+}
+
+fn e9_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E9 / Fig G — scalability at 1/8 coverage (normalized to full-map at each core count)",
+        &[
+            "workload",
+            "cores",
+            "sparse_norm",
+            "stash_norm",
+            "stash_disc/kop",
+        ],
+    );
+    for workload in E9_WORKLOADS {
+        for cores in E9_CORES {
+            let ideal = report(results, &scaled_case(DirSpec::FullMap, cores, workload, p));
+            let sparse = report(
+                results,
+                &scaled_case(DirSpec::sparse(eighth()), cores, workload, p),
+            );
+            let stash = report(
+                results,
+                &scaled_case(DirSpec::stash(eighth()), cores, workload, p),
+            );
+            table.row(vec![
+                workload.name().to_string(),
+                cores.to_string(),
+                f3(sparse.cycles as f64 / ideal.cycles as f64),
+                f3(stash.cycles as f64 / ideal.cycles as f64),
+                f2(stash.discoveries_per_kop()),
+            ]);
+        }
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E10
+
+fn e10_assemble(_p: Params, _results: &ResultSet) -> Assembled {
+    let config = SystemConfig::default();
+    let tracked = config.tracked_blocks_per_slice();
+    let params = config.cost_params();
+    let per_slice = CostParams {
+        llc_lines: params.llc_lines / config.cores as u64,
+        ..params
+    };
+
+    let mut table = Table::new(
+        "E10 / Table 3 — directory storage per slice (16-core model, 48-bit PA)",
+        &[
+            "organization",
+            "entries",
+            "entry_bits",
+            "extra_bits",
+            "total_KiB",
+            "vs sparse@1",
+        ],
+    );
+
+    let sparse_full = DirSpec::sparse(CoverageRatio::FULL)
+        .slice_config(tracked)
+        .build(0);
+    let baseline_bits = sparse_full.storage_bits(&per_slice) as f64;
+
+    let cases: Vec<(String, DirSpec)> =
+        std::iter::once(("sparse@1".to_string(), DirSpec::sparse(CoverageRatio::FULL)))
+            .chain(CoverageRatio::sweep().into_iter().flat_map(|c| {
+                [
+                    (format!("sparse@{c}"), DirSpec::sparse(c)),
+                    (format!("stash@{c}"), DirSpec::stash(c)),
+                ]
+            }))
+            .collect();
+
+    let mut seen = std::collections::HashSet::new();
+    for (label, spec) in cases {
+        if !seen.insert(label.clone()) {
+            continue;
+        }
+        let dir = spec.slice_config(tracked).build(0);
+        let total = dir.storage_bits(&per_slice);
+        let entry_bits = per_slice.bits_per_entry() * dir.capacity() as u64;
+        table.row(vec![
+            label,
+            dir.capacity().to_string(),
+            entry_bits.to_string(),
+            (total - entry_bits).to_string(),
+            f2(total as f64 / 8.0 / 1024.0),
+            f2(total as f64 / baseline_bits),
+        ]);
+    }
+    let note = format!(
+        "stash@1/8 costs ~{:.0}% of the conventional sparse@1 directory it \
+         replaces (per E3, at equal performance).",
+        100.0
+            * DirSpec::stash(eighth())
+                .slice_config(tracked)
+                .build(0)
+                .storage_bits(&per_slice) as f64
+            / baseline_bits
+    );
+    Assembled {
+        table,
+        note: Some(note),
+    }
+}
+
+// ---------------------------------------------------------------- E11
+
+const E11_POLICIES: [(&str, DirReplPolicy); 3] = [
+    ("private-first-lru", DirReplPolicy::PrivateFirstLru),
+    ("plain-lru", DirReplPolicy::Lru),
+    ("random", DirReplPolicy::Random),
+];
+const E11_WORKLOADS: [Workload; 4] = [
+    Workload::Lu,
+    Workload::ReadMostly,
+    Workload::Stencil,
+    Workload::ProducerConsumer,
+];
+
+fn e11_stash(repl: DirReplPolicy) -> DirSpec {
+    DirSpec::Stash {
+        coverage: CoverageRatio::new(1, 8),
+        assoc: 8,
+        repl,
+    }
+}
+
+fn e11_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in E11_WORKLOADS {
+        cases.push(case(DirSpec::FullMap, workload, p));
+        for (_, repl) in E11_POLICIES {
+            cases.push(case(e11_stash(repl), workload, p));
+        }
+    }
+    cases
+}
+
+fn e11_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E11 / Fig H — stash victim-selection ablation at 1/8 coverage",
+        &[
+            "workload",
+            "policy",
+            "norm_time",
+            "silent_frac",
+            "copies_lost",
+        ],
+    );
+    for workload in E11_WORKLOADS {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p)).cycles as f64;
+        for (name, repl) in E11_POLICIES {
+            let r = report(results, &case(e11_stash(repl), workload, p));
+            table.row(vec![
+                workload.name().to_string(),
+                name.to_string(),
+                f3(r.cycles as f64 / ideal),
+                f2(r.silent_eviction_fraction()),
+                f2(r.stat("dir.copies_invalidated")),
+            ]);
+        }
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E12
+
+const E12_WORKLOADS: [Workload; 4] = [
+    Workload::DataParallel,
+    Workload::Fft,
+    Workload::Canneal,
+    Workload::Migratory,
+];
+
+fn e12_coverages() -> [CoverageRatio; 2] {
+    [CoverageRatio::new(1, 4), CoverageRatio::new(1, 8)]
+}
+
+fn e12_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in E12_WORKLOADS {
+        cases.push(case(DirSpec::FullMap, workload, p));
+        for coverage in e12_coverages() {
+            cases.push(case(DirSpec::sparse(coverage), workload, p));
+            cases.push(case(DirSpec::Cuckoo { coverage }, workload, p));
+            cases.push(case(DirSpec::stash(coverage), workload, p));
+        }
+    }
+    cases
+}
+
+fn e12_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E12 / Fig I — stash vs cuckoo vs sparse at matched entry counts (normalized to full-map)",
+        &[
+            "workload",
+            "coverage",
+            "sparse",
+            "cuckoo",
+            "stash",
+            "cuckoo_relocs",
+            "cuckoo_copies_lost",
+            "stash_copies_lost",
+        ],
+    );
+    for workload in E12_WORKLOADS {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p)).cycles as f64;
+        for coverage in e12_coverages() {
+            let sparse = report(results, &case(DirSpec::sparse(coverage), workload, p));
+            let cuckoo = report(results, &case(DirSpec::Cuckoo { coverage }, workload, p));
+            let stash = report(results, &case(DirSpec::stash(coverage), workload, p));
+            table.row(vec![
+                workload.name().to_string(),
+                coverage.to_string(),
+                f3(sparse.cycles as f64 / ideal),
+                f3(cuckoo.cycles as f64 / ideal),
+                f3(stash.cycles as f64 / ideal),
+                n0(cuckoo.stat("dir.relocations")),
+                n0(cuckoo.stat("dir.copies_invalidated")),
+                n0(stash.stat("dir.copies_invalidated")),
+            ]);
+        }
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E13
+
+fn e13_cases(p: Params) -> Vec<CaseSpec> {
+    Workload::suite()
+        .into_iter()
+        .flat_map(|w| {
+            [
+                case(DirSpec::FullMap, w, p),
+                case(DirSpec::sparse(eighth()), w, p),
+                case(DirSpec::stash(eighth()), w, p),
+            ]
+        })
+        .collect()
+}
+
+fn e13_assemble(p: Params, results: &ResultSet) -> Assembled {
+    fn counts_of(r: &SimReport) -> EnergyCounts {
+        EnergyCounts {
+            dir_accesses: r.stat("dir.lookups") as u64,
+            llc_accesses: (r.stat("llc.hits") + r.stat("llc.misses") + r.stat("llc.writebacks"))
+                as u64,
+            dram_accesses: r.stat("dram.accesses") as u64,
+            flit_hops: r.stat("noc.flit_hops") as u64,
+            probes: (r.stat("noc.messages.inv")
+                + r.stat("noc.messages.fwd")
+                + r.stat("noc.messages.discovery")) as u64,
+        }
+    }
+    let model = EnergyModel::default();
+    let mut table = Table::new(
+        "E13 / Fig J — dynamic energy at 1/8 coverage (normalized to full-map)",
+        &[
+            "workload",
+            "sparse",
+            "stash",
+            "stash_dir_uJ",
+            "stash_noc_uJ",
+        ],
+    );
+    for workload in Workload::suite() {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p));
+        let sparse = report(results, &case(DirSpec::sparse(eighth()), workload, p));
+        let stash = report(results, &case(DirSpec::stash(eighth()), workload, p));
+        let base = model.dynamic_pj(&counts_of(ideal));
+        let stash_counts = counts_of(stash);
+        table.row(vec![
+            workload.name().to_string(),
+            f3(model.dynamic_pj(&counts_of(sparse)) / base),
+            f3(model.dynamic_pj(&stash_counts) / base),
+            f3(stash_counts.dir_accesses as f64 * model.dir_access_pj / 1e6),
+            f3(stash_counts.flit_hops as f64 * model.flit_hop_pj / 1e6),
+        ]);
+    }
+    Assembled { table, note: None }
+}
+
+// ---------------------------------------------------------------- E14
+
+const E14_WORKLOADS: [Workload; 4] = [
+    Workload::DataParallel,
+    Workload::Canneal,
+    Workload::Fft,
+    Workload::ReadMostly,
+];
+
+fn e14_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in E14_WORKLOADS {
+        cases.push(case(DirSpec::FullMap, workload, p));
+        for notify in [true, false] {
+            cases.push(notify_case(notify, workload, p));
+        }
+    }
+    cases
+}
+
+fn e14_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E14 / Fig K — clean-eviction notification ablation (stash at 1/8)",
+        &[
+            "workload",
+            "notify",
+            "norm_time",
+            "discoveries",
+            "found",
+            "stale",
+            "stale_frac",
+        ],
+    );
+    for workload in E14_WORKLOADS {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p)).cycles as f64;
+        for notify in [true, false] {
+            let r = report(results, &notify_case(notify, workload, p));
+            let found = r.stat("bank.discoveries_found");
+            let stale = r.stat("bank.discoveries_stale");
+            let total = found + stale;
+            table.row(vec![
+                workload.name().to_string(),
+                notify.to_string(),
+                f3(r.cycles as f64 / ideal),
+                n0(total),
+                n0(found),
+                n0(stale),
+                f2(if total == 0.0 { 0.0 } else { stale / total }),
+            ]);
+        }
+    }
+    Assembled { table, note: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { ops: 50, seed: 7 }
+    }
+
+    #[test]
+    fn registry_keys_and_csvs_are_unique() {
+        let reg = registry();
+        assert_eq!(reg.len(), 14);
+        let mut keys: Vec<_> = reg.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 14, "duplicate experiment key");
+        let mut csvs: Vec<_> = reg.iter().map(|e| e.csv).collect();
+        csvs.sort_unstable();
+        csvs.dedup();
+        assert_eq!(csvs.len(), 14, "duplicate csv stem");
+    }
+
+    #[test]
+    fn find_resolves_keys() {
+        assert_eq!(find("perf_vs_coverage").unwrap().code, "E3");
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn case_lists_are_duplicate_free_within_each_experiment() {
+        for exp in registry() {
+            let cases = exp.cases(tiny());
+            let mut ids: Vec<_> = cases.iter().map(|c| c.id()).collect();
+            ids.sort();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "{} repeats a case", exp.key);
+        }
+    }
+
+    #[test]
+    fn suite_shares_cases_across_experiments() {
+        // E3's full-map ideals are also E7's and E13's — the union must be
+        // strictly smaller than the sum of the parts.
+        let p = tiny();
+        let total: usize = registry().iter().map(|e| e.cases(p).len()).sum();
+        let mut union: Vec<String> = registry()
+            .iter()
+            .flat_map(|e| e.cases(p))
+            .map(|c| c.id())
+            .collect();
+        union.sort();
+        union.dedup();
+        assert!(
+            union.len() < total,
+            "expected cross-experiment case sharing ({} unique of {total})",
+            union.len()
+        );
+    }
+
+    #[test]
+    fn static_experiments_assemble_without_results() {
+        let results = ResultSet::new();
+        for key in ["config_table", "workload_table", "storage_table"] {
+            let exp = find(key).unwrap();
+            assert!(exp.cases(tiny()).is_empty());
+            let a = exp.assemble(tiny(), &results);
+            assert!(!a.table.render().is_empty());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Parallel experiment orchestration for the Stash Directory reproduction.
+//!
+//! The `stashdir-bench` binaries each used to carry their own serial
+//! grid-loop; this crate factors that structure into a subsystem:
+//!
+//! * [`plan`] — [`ExperimentPlan`] grids over directory scheme, coverage,
+//!   workload, core count, seed and op count, expanded into independent
+//!   [`CaseSpec`]s with deterministic identities and per-case seeds.
+//! * [`pool`] — a work-stealing worker pool on `std::thread` that runs
+//!   cases in parallel with per-case panic isolation (a crashing case
+//!   becomes a `failed` record, not a dead sweep) and optional fail-fast
+//!   cancellation.
+//! * [`manifest`] — [`RunManifest`]s written to
+//!   `results/<run>/manifest.json` recording the plan, per-case digests,
+//!   statuses and durations, enabling `--resume` to skip completed cases.
+//! * [`artifact`] — structured per-case artifacts: each
+//!   [`SimReport`](stashdir::SimReport) serialized to
+//!   `results/<run>/cases/<id>.json` (deterministically, so parallel and
+//!   serial runs produce byte-identical files).
+//! * [`experiments`] — the E1–E14 registry: each experiment contributes
+//!   cases to a run and assembles its table from the shared result set,
+//!   producing the same tables and CSVs as the original serial binaries.
+//! * [`progress`] — a live `done/total`, ETA and worker-utilization line.
+//!
+//! The `sweep` binary drives the whole suite in one parallel invocation:
+//!
+//! ```sh
+//! cargo run --release -p stashdir-harness --bin sweep -- --all
+//! cargo run --release -p stashdir-harness --bin sweep -- --plan perf_vs_coverage,traffic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod digest;
+pub mod experiments;
+pub mod manifest;
+pub mod params;
+pub mod plan;
+pub mod pool;
+pub mod progress;
+pub mod runner;
+pub mod table;
+
+pub use experiments::{registry, Experiment, ResultSet};
+pub use manifest::{CaseRecord, RunManifest};
+pub use params::{geomean, machine_with, run_case, Params};
+pub use plan::{CaseSpec, ExperimentPlan};
+pub use pool::{run_cases, CaseOutcome, CaseStatus, RunOptions};
+pub use runner::{run_single_experiment_cli, SweepConfig};
+pub use table::{f2, f3, n0, Table};

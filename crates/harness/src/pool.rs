@@ -1,0 +1,351 @@
+//! The parallel case executor: a work-stealing worker pool on
+//! `std::thread` with per-case panic isolation and fail-fast
+//! cancellation.
+//!
+//! Each worker owns a deque seeded round-robin with case indices; when a
+//! worker drains its own deque it steals from the back of its siblings',
+//! so long-running cases (big core counts, slow workloads) don't strand
+//! idle workers behind a static partition. A case that panics — a
+//! coherence violation tripping `assert_clean`, a bug in a directory
+//! model — is caught on the worker, recorded as a [`CaseStatus::Failed`]
+//! outcome, and the rest of the sweep continues (or is cancelled, with
+//! `fail_fast`).
+
+use crate::plan::CaseSpec;
+use crate::progress::Progress;
+use stashdir::{Machine, SimReport};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
+
+/// Thread-name prefix for pool workers; the installed panic hook mutes
+/// default panic output for these threads (their panics are captured and
+/// reported as case failures instead).
+const WORKER_NAME_PREFIX: &str = "stashdir-worker-";
+
+/// Options controlling one pool invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads; `0` = available parallelism.
+    pub jobs: usize,
+    /// Cancel remaining cases after the first failure.
+    pub fail_fast: bool,
+    /// Test hook: panic inside any case whose id contains this substring
+    /// (exercises the panic-isolation path end to end).
+    pub inject_panic: Option<String>,
+    /// Print a live progress line to stderr.
+    pub progress: bool,
+}
+
+impl RunOptions {
+    /// The worker count this invocation will actually use.
+    pub fn resolved_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Terminal state of one case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseStatus {
+    /// Ran to completion with a clean report.
+    Completed,
+    /// Panicked (coherence violation, model bug, injected fault).
+    Failed,
+    /// Not run: cancelled by fail-fast, or satisfied by a resume artifact.
+    Skipped,
+}
+
+impl CaseStatus {
+    /// The manifest string for this status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CaseStatus::Completed => "completed",
+            CaseStatus::Failed => "failed",
+            CaseStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Parses a manifest status string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(CaseStatus::Completed),
+            "failed" => Some(CaseStatus::Failed),
+            "skipped" => Some(CaseStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// The result of attempting one case.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// The case that ran.
+    pub spec: CaseSpec,
+    /// Terminal status.
+    pub status: CaseStatus,
+    /// Wall-clock time spent simulating (zero for skipped cases).
+    pub duration: Duration,
+    /// The report, when completed.
+    pub report: Option<SimReport>,
+    /// The captured panic message, when failed.
+    pub error: Option<String>,
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for pool
+/// worker threads — their panics are captured and surfaced as case
+/// failures — and defers to the previous hook for everyone else.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_NAME_PREFIX));
+            if !on_worker {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one case, catching panics.
+fn attempt(
+    spec: &CaseSpec,
+    inject_panic: Option<&str>,
+) -> (CaseStatus, Option<SimReport>, Option<String>) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(needle) = inject_panic {
+            if spec.id().contains(needle) {
+                panic!("injected fault for case {}", spec.id());
+            }
+        }
+        let traces = spec
+            .workload
+            .generate(spec.config.cores, spec.ops, spec.seed);
+        let report = Machine::new(spec.config.clone()).run(traces);
+        report.assert_clean();
+        report
+    }));
+    match result {
+        Ok(report) => (CaseStatus::Completed, Some(report), None),
+        Err(payload) => (CaseStatus::Failed, None, Some(panic_message(payload))),
+    }
+}
+
+/// Runs `specs` on a work-stealing pool, returning one outcome per spec
+/// in input order.
+///
+/// Guarantees:
+///
+/// * Every spec gets exactly one outcome; a panicking case yields
+///   [`CaseStatus::Failed`] with the captured message, never a dead pool.
+/// * With `fail_fast`, cases not yet started when the first failure lands
+///   come back as [`CaseStatus::Skipped`].
+/// * Outcomes carry the same reports a serial loop would produce — the
+///   simulator is deterministic and cases share nothing.
+pub fn run_cases(specs: &[CaseSpec], opts: &RunOptions) -> Vec<CaseOutcome> {
+    install_quiet_hook();
+    let jobs = opts.resolved_jobs().min(specs.len()).max(1);
+    let cancel = AtomicBool::new(false);
+    // One deque per worker, seeded round-robin.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..specs.len()).step_by(jobs).collect()))
+        .collect();
+    let (tx, rx) = mpsc::channel::<(
+        usize,
+        CaseStatus,
+        Option<SimReport>,
+        Option<String>,
+        Duration,
+    )>();
+
+    let mut progress = opts.progress.then(|| Progress::new(specs.len(), jobs));
+
+    let mut slots: Vec<Option<CaseOutcome>> =
+        std::iter::repeat_with(|| None).take(specs.len()).collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let tx = tx.clone();
+            let queues = &queues;
+            let cancel = &cancel;
+            let inject = opts.inject_panic.clone();
+            let fail_fast = opts.fail_fast;
+            std::thread::Builder::new()
+                .name(format!("{WORKER_NAME_PREFIX}{worker}"))
+                .spawn_scoped(scope, move || {
+                    loop {
+                        // Own queue first (front), then steal (back).
+                        let mut next = queues[worker].lock().expect("queue poisoned").pop_front();
+                        if next.is_none() {
+                            for victim in 1..queues.len() {
+                                let v = (worker + victim) % queues.len();
+                                next = queues[v].lock().expect("queue poisoned").pop_back();
+                                if next.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(index) = next else { break };
+                        if cancel.load(Ordering::Relaxed) {
+                            let _ = tx.send((
+                                index,
+                                CaseStatus::Skipped,
+                                None,
+                                Some("cancelled by fail-fast".into()),
+                                Duration::ZERO,
+                            ));
+                            continue;
+                        }
+                        let start = Instant::now();
+                        let (status, report, error) = attempt(&specs[index], inject.as_deref());
+                        if status == CaseStatus::Failed && fail_fast {
+                            cancel.store(true, Ordering::Relaxed);
+                        }
+                        let _ = tx.send((index, status, report, error, start.elapsed()));
+                    }
+                })
+                .expect("spawn worker");
+        }
+        drop(tx);
+
+        for (index, status, report, error, duration) in rx {
+            if let Some(p) = progress.as_mut() {
+                p.case_done(&specs[index].id(), status, duration);
+            }
+            slots[index] = Some(CaseOutcome {
+                spec: specs[index].clone(),
+                status,
+                duration,
+                report,
+                error,
+            });
+        }
+    });
+    if let Some(p) = progress.as_mut() {
+        p.finish();
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every case produces exactly one outcome"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stashdir::{CoverageRatio, DirSpec, SystemConfig, Workload};
+
+    fn small_specs(n: usize) -> Vec<CaseSpec> {
+        (0..n)
+            .map(|i| {
+                CaseSpec::new(
+                    SystemConfig::default()
+                        .with_dir(DirSpec::stash(CoverageRatio::new(1, 8)))
+                        .with_cores(4),
+                    Workload::Uniform,
+                    50,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_come_back_in_input_order() {
+        let specs = small_specs(5);
+        let outcomes = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes.len(), 5);
+        for (spec, outcome) in specs.iter().zip(&outcomes) {
+            assert_eq!(spec.id(), outcome.spec.id());
+            assert_eq!(outcome.status, CaseStatus::Completed);
+            assert!(outcome.report.is_some());
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated() {
+        let specs = small_specs(4);
+        let needle = specs[2].id();
+        let outcomes = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 2,
+                inject_panic: Some(needle),
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes[2].status, CaseStatus::Failed);
+        assert!(outcomes[2]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("injected fault"));
+        for (i, o) in outcomes.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(o.status, CaseStatus::Completed, "case {i} must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_skips_unstarted_cases() {
+        let specs = small_specs(30);
+        let needle = specs[0].id();
+        let outcomes = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 1,
+                fail_fast: true,
+                inject_panic: Some(needle),
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes[0].status, CaseStatus::Failed);
+        let skipped = outcomes
+            .iter()
+            .filter(|o| o.status == CaseStatus::Skipped)
+            .count();
+        assert_eq!(skipped, 29, "single worker cancels everything after case 0");
+    }
+
+    #[test]
+    fn status_strings_round_trip() {
+        for s in [
+            CaseStatus::Completed,
+            CaseStatus::Failed,
+            CaseStatus::Skipped,
+        ] {
+            assert_eq!(CaseStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(CaseStatus::parse("bogus"), None);
+    }
+}

@@ -2,9 +2,9 @@
 //! so experiments can be re-run bit-identically without regenerating.
 
 use serde::{Deserialize, Serialize};
-use stashdir_common::MemOp;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
+use stashdir_common::json::Value;
+use stashdir_common::{BlockAddr, MemOp, MemOpKind};
+use std::io;
 use std::path::Path;
 
 /// A stored multi-core trace with its provenance.
@@ -56,11 +56,9 @@ impl TraceFile {
     ///
     /// # Errors
     ///
-    /// Returns any underlying I/O or serialization error.
+    /// Returns any underlying I/O error.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let file = File::create(path)?;
-        serde_json::to_writer(BufWriter::new(file), self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        std::fs::write(path, self.to_json().render())
     }
 
     /// Reads a trace back from JSON.
@@ -69,10 +67,72 @@ impl TraceFile {
     ///
     /// Returns any underlying I/O or deserialization error.
     pub fn load(path: &Path) -> io::Result<Self> {
-        let file = File::open(path)?;
-        serde_json::from_reader(BufReader::new(file))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let text = std::fs::read_to_string(path)?;
+        let value = Value::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Self::from_json(&value)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed trace file"))
     }
+
+    fn to_json(&self) -> Value {
+        let traces = self
+            .traces
+            .iter()
+            .map(|ops| Value::array(ops.iter().map(op_to_json).collect()))
+            .collect();
+        Value::object(vec![
+            ("workload".into(), Value::from(self.workload.as_str())),
+            ("seed".into(), Value::from(self.seed)),
+            ("traces".into(), Value::Array(traces)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Option<Self> {
+        let workload = value.get("workload")?.as_str()?.to_string();
+        let seed = value.get("seed")?.as_u64()?;
+        let traces = value
+            .get("traces")?
+            .as_array()?
+            .iter()
+            .map(|per_core| {
+                per_core
+                    .as_array()?
+                    .iter()
+                    .map(op_from_json)
+                    .collect::<Option<Vec<_>>>()
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(TraceFile {
+            workload,
+            seed,
+            traces,
+        })
+    }
+}
+
+fn op_to_json(op: &MemOp) -> Value {
+    Value::object(vec![
+        (
+            "kind".into(),
+            Value::from(match op.kind {
+                MemOpKind::Read => "Read",
+                MemOpKind::Write => "Write",
+            }),
+        ),
+        ("block".into(), Value::from(op.block.get())),
+        ("think".into(), Value::from(op.think)),
+    ])
+}
+
+fn op_from_json(value: &Value) -> Option<MemOp> {
+    let kind = match value.get("kind")?.as_str()? {
+        "Read" => MemOpKind::Read,
+        "Write" => MemOpKind::Write,
+        _ => return None,
+    };
+    let block = BlockAddr::new(value.get("block")?.as_u64()?);
+    let think = u32::try_from(value.get("think")?.as_u64()?).ok()?;
+    Some(MemOp { kind, block, think })
 }
 
 #[cfg(test)]

@@ -1,0 +1,231 @@
+//! Offline mini-implementation of [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements only the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter` — so `cargo bench` runs without network access.
+//!
+//! Measurement is intentionally simple: a short warm-up, then timed batches
+//! until a small time budget is spent, reporting mean ns/iter (and element
+//! throughput when declared) to stdout. It is a smoke-run harness, not a
+//! statistics engine; swap back to real criterion for publishable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/id` in output).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over repeated calls until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < TIME_BUDGET {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&self.name, &id.id, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, None, |b| f(b));
+        self
+    }
+}
+
+fn run_one(group: &str, id: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {label:<40} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!(
+                "bench {label:<40} {ns_per_iter:>14.1} ns/iter  {per_sec:>14.0} elem/s  ({} iters)",
+                bencher.iters
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!(
+                "bench {label:<40} {ns_per_iter:>14.1} ns/iter  {per_sec:>14.0} B/s  ({} iters)",
+                bencher.iters
+            );
+        }
+        None => {
+            println!(
+                "bench {label:<40} {ns_per_iter:>14.1} ns/iter  ({} iters)",
+                bencher.iters
+            );
+        }
+    }
+}
+
+/// Declares a bench group function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .throughput(Throughput::Elements(4))
+            .bench_function(BenchmarkId::from_parameter("add"), |b| {
+                b.iter(|| std::hint::black_box(2u64 + 2))
+            });
+        group.finish();
+    }
+}

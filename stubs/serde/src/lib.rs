@@ -1,0 +1,53 @@
+//! Offline stub of `serde`.
+//!
+//! Provides just enough surface for this workspace to compile without
+//! network access: the `Serialize`/`Deserialize` *names* (as marker traits
+//! with blanket impls) and the derive macros (re-exported no-ops from the
+//! stub `serde_derive`). All actual serialization in the workspace goes
+//! through the hand-rolled, std-only `stashdir_common::json` module, so
+//! nothing ever calls into these traits.
+//!
+//! If real `serde` is ever wanted again, point the `[workspace.dependencies]`
+//! entry back at crates.io — every `#[derive(Serialize, Deserialize)]` in the
+//! tree is attribute-free and compatible with the real derive.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for every
+/// type so bounds like `T: Serialize` keep compiling.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for every
+/// sized type so bounds like `T: Deserialize<'de>` keep compiling.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialization marker.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Demo {
+        _field: u64,
+    }
+
+    #[test]
+    fn derives_expand_to_nothing() {
+        let d = Demo { _field: 7 };
+        let _ = d;
+        fn takes_ser<T: Serialize>(_: &T) {}
+        takes_ser(&1u32);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real `serde` derive macros generate `Serialize`/`Deserialize` trait
+//! impls. In this workspace the derives are purely decorative — nothing
+//! bounds on the serde traits (all JSON I/O goes through
+//! `stashdir_common::json`) — so the stub derives expand to nothing. This
+//! keeps every `#[derive(Serialize, Deserialize)]` in the tree compiling
+//! without network access or vendored sources.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
