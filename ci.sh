@@ -13,6 +13,12 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
+# Protocol-aware static analysis: transition-matrix coverage against the
+# model checker, panic hygiene in hot crates, stat registration. Writes
+# results/lint/transition_matrix.json and fails on any finding.
+echo "== stashdir-lint"
+cargo run -q -p stashdir-lint --offline -- --root .
+
 echo "== cargo test -q --offline"
 cargo test -q --workspace --offline
 

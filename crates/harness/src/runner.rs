@@ -36,6 +36,9 @@ pub struct SweepConfig {
     pub out_root: PathBuf,
     /// Print assembled tables and save lines to stdout (off in tests).
     pub print_tables: bool,
+    /// Write per-case artifacts as single-line JSON instead of pretty
+    /// (`--compact-artifacts`).
+    pub compact_artifacts: bool,
 }
 
 impl SweepConfig {
@@ -56,6 +59,7 @@ impl SweepConfig {
             resume: false,
             out_root: PathBuf::from("results"),
             print_tables: true,
+            compact_artifacts: false,
         }
     }
 }
@@ -87,6 +91,20 @@ pub struct ExecReport {
     pub run_dir: PathBuf,
 }
 
+/// How [`execute_cases`] persists per-case artifacts and whether it may
+/// reuse them from a prior run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PersistOptions {
+    /// Satisfy cases completed by a prior manifest from their artifacts
+    /// instead of re-running them (`--resume`).
+    pub resume: bool,
+    /// On-disk rendering for per-case artifacts
+    /// (`--compact-artifacts` selects [`ArtifactStyle::Compact`]).
+    ///
+    /// [`ArtifactStyle::Compact`]: artifact::ArtifactStyle::Compact
+    pub style: artifact::ArtifactStyle,
+}
+
 /// Executes `cases` (deduplicated by the caller) under `run`, resuming
 /// from an existing manifest when asked, writing per-case artifacts and
 /// the run manifest.
@@ -102,10 +120,10 @@ pub fn execute_cases(
     experiment_keys: Vec<String>,
     params: Params,
     options: &RunOptions,
-    resume: bool,
+    persist: PersistOptions,
 ) -> io::Result<ExecReport> {
     let run_dir = out_root.join(run);
-    let prior = if resume {
+    let prior = if persist.resume {
         RunManifest::load(&run_dir)
     } else {
         None
@@ -163,7 +181,7 @@ pub fn execute_cases(
     // Persist artifacts for freshly completed cases, then the manifest.
     for outcome in &outcomes {
         if let (CaseStatus::Completed, Some(report)) = (outcome.status, outcome.report.as_ref()) {
-            artifact::save_report(&run_dir, &outcome.spec.id(), report)?;
+            artifact::save_report_styled(&run_dir, &outcome.spec.id(), report, persist.style)?;
         }
     }
     let mut manifest = RunManifest::from_outcomes(
@@ -263,7 +281,14 @@ pub fn run_sweep(cfg: &SweepConfig) -> io::Result<SweepSummary> {
         experiments.iter().map(|e| e.key.to_string()).collect(),
         cfg.params,
         &cfg.options,
-        cfg.resume,
+        PersistOptions {
+            resume: cfg.resume,
+            style: if cfg.compact_artifacts {
+                artifact::ArtifactStyle::Compact
+            } else {
+                artifact::ArtifactStyle::Pretty
+            },
+        },
     )?;
 
     let mut incomplete = Vec::new();
@@ -366,6 +391,7 @@ pub fn common_usage() -> &'static str {
      \x20 --run <name>         run directory name under results/\n\
      \x20 --out <dir>          output root (default results/)\n\
      \x20 --resume             skip cases completed in the run's manifest\n\
+     \x20 --compact-artifacts  single-line per-case JSON (smaller runs)\n\
      \x20 --fail-fast          cancel remaining cases after the first failure\n\
      \x20 --no-progress        suppress the live progress line\n\
      \x20 --inject-panic <s>   test hook: panic in cases whose id contains <s>\n\
@@ -426,6 +452,7 @@ pub fn parse_one_common_flag(
         "--run" => cfg.run = value("--run")?,
         "--out" => cfg.out_root = PathBuf::from(value("--out")?),
         "--resume" => cfg.resume = true,
+        "--compact-artifacts" => cfg.compact_artifacts = true,
         "--fail-fast" => cfg.options.fail_fast = true,
         "--no-progress" => cfg.options.progress = false,
         "--inject-panic" => cfg.options.inject_panic = Some(value("--inject-panic")?),
@@ -476,7 +503,10 @@ mod tests {
                 jobs: 2,
                 ..Default::default()
             },
-            false,
+            PersistOptions {
+                resume: false,
+                style: artifact::ArtifactStyle::Compact,
+            },
         )
         .unwrap();
         assert_eq!(rep.ran, 3);
@@ -495,7 +525,10 @@ mod tests {
             vec!["x".into()],
             Params { ops: 40, seed: 0 },
             &RunOptions::default(),
-            true,
+            PersistOptions {
+                resume: true,
+                style: artifact::ArtifactStyle::Pretty,
+            },
         )
         .unwrap();
         assert_eq!(rep2.resumed, 3);

@@ -8,8 +8,8 @@
 //!    completes; re-invoking with resume re-runs *only* the failed case.
 
 use stashdir::{CoverageRatio, DirSpec, SystemConfig, Workload};
-use stashdir_harness::artifact::report_to_json;
-use stashdir_harness::runner::execute_cases;
+use stashdir_harness::artifact::{report_to_json, ArtifactStyle};
+use stashdir_harness::runner::{execute_cases, PersistOptions};
 use stashdir_harness::{run_cases, CaseStatus, ExperimentPlan, Params, RunManifest, RunOptions};
 use std::path::PathBuf;
 
@@ -83,7 +83,10 @@ fn injected_panic_is_failed_in_manifest_and_resume_reruns_only_it() {
             inject_panic: Some(victim.clone()),
             ..Default::default()
         },
-        false,
+        PersistOptions {
+            resume: false,
+            style: ArtifactStyle::Pretty,
+        },
     )
     .unwrap();
     assert_eq!(first.failed, 1);
@@ -114,7 +117,10 @@ fn injected_panic_is_failed_in_manifest_and_resume_reruns_only_it() {
             jobs: 2,
             ..Default::default()
         },
-        true,
+        PersistOptions {
+            resume: true,
+            style: ArtifactStyle::Pretty,
+        },
     )
     .unwrap();
     assert_eq!(second.resumed, cases.len() - 1, "completed cases skipped");
@@ -150,7 +156,10 @@ fn resume_reruns_cases_whose_digest_changed() {
         vec![],
         params,
         &RunOptions::default(),
-        false,
+        PersistOptions {
+            resume: false,
+            style: ArtifactStyle::Pretty,
+        },
     )
     .unwrap();
 
@@ -171,7 +180,10 @@ fn resume_reruns_cases_whose_digest_changed() {
         vec![],
         params,
         &RunOptions::default(),
-        true,
+        PersistOptions {
+            resume: true,
+            style: ArtifactStyle::Pretty,
+        },
     )
     .unwrap();
     assert_eq!(rep.resumed, 0, "changed configs must not resume");

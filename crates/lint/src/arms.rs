@@ -1,0 +1,481 @@
+//! Structure extraction over the token stream: function bodies, `match`
+//! expressions and their arms, enum variants, and struct fields.
+//!
+//! Everything operates on comment-free token slices (see
+//! [`crate::lexer::code_only`]). The extractors are deliberately shallow:
+//! they track bracket depth, not full Rust grammar, which is enough for
+//! the protocol crates' style and keeps the lint dependency-free.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// Pattern tokens (guard excluded).
+    pub pattern: Vec<Tok>,
+    /// Guard tokens (after `if`), when present.
+    pub guard: Option<Vec<Tok>>,
+    /// Body tokens (braces included for block bodies).
+    pub body: Vec<Tok>,
+    /// 1-based line of the pattern's first token.
+    pub line: u32,
+}
+
+impl MatchArm {
+    /// `true` when the arm body is a `panic!`/`unreachable!`/`todo!`
+    /// invocation — a rejection arm, not a handled transition.
+    pub fn is_rejection(&self) -> bool {
+        self.body.windows(2).any(|w| {
+            w[0].kind == TokKind::Ident
+                && matches!(w[0].text.as_str(), "panic" | "unreachable" | "todo")
+                && w[1].is_punct("!")
+        })
+    }
+}
+
+/// A `match` expression: scrutinee text plus parsed arms.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// The scrutinee, rendered with single spaces between tokens.
+    pub scrutinee: String,
+    /// The arms, in source order.
+    pub arms: Vec<MatchArm>,
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+}
+
+fn matching_close(toks: &[Tok], open_idx: usize) -> Option<usize> {
+    let (open, close) = match toks[open_idx].text.as_str() {
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Net bracket-depth tracker over `()`, `[]`, `{}`.
+#[derive(Default)]
+struct Depth(i32);
+
+impl Depth {
+    fn feed(&mut self, t: &Tok) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => self.0 += 1,
+                ")" | "]" | "}" => self.0 -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn at_top(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Finds `fn name` and returns the tokens inside its body braces.
+pub fn find_fn_body<'a>(toks: &'a [Tok], name: &str) -> Option<&'a [Tok]> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                j += 1;
+            }
+            if j < toks.len() {
+                let close = matching_close(toks, j)?;
+                return Some(&toks[j + 1..close]);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// All `match` expressions found by linear scan of `toks` (nested ones
+/// included — a match inside an arm body is reported separately, after
+/// its parent).
+pub fn matches_in(toks: &[Tok]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("match") {
+            // Scrutinee: up to the `{` at the depth we started at.
+            let mut depth = Depth::default();
+            let mut j = i + 1;
+            while j < toks.len() {
+                if toks[j].is_punct("{") && depth.at_top() {
+                    break;
+                }
+                depth.feed(&toks[j]);
+                j += 1;
+            }
+            if j >= toks.len() {
+                break;
+            }
+            let scrutinee = toks[i + 1..j]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if let Some(close) = matching_close(toks, j) {
+                out.push(MatchExpr {
+                    scrutinee,
+                    arms: parse_arms(&toks[j + 1..close]),
+                    line: toks[i].line,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the region between a match's braces into arms.
+pub fn parse_arms(toks: &[Tok]) -> Vec<MatchArm> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct(",") {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // Pattern: until `if` or `=>` at top depth.
+        let mut depth = Depth::default();
+        let pat_start = i;
+        while i < toks.len() {
+            if depth.at_top() && (toks[i].is_ident("if") || toks[i].is_punct("=>")) {
+                break;
+            }
+            depth.feed(&toks[i]);
+            i += 1;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let pattern = toks[pat_start..i].to_vec();
+        // Guard.
+        let guard = if toks[i].is_ident("if") {
+            i += 1;
+            let g_start = i;
+            let mut depth = Depth::default();
+            while i < toks.len() && !(depth.at_top() && toks[i].is_punct("=>")) {
+                depth.feed(&toks[i]);
+                i += 1;
+            }
+            Some(toks[g_start..i].to_vec())
+        } else {
+            None
+        };
+        if i >= toks.len() {
+            break;
+        }
+        i += 1; // skip `=>`
+        if i >= toks.len() {
+            break;
+        }
+        // Body: a brace block, or tokens to the next top-depth comma.
+        let body = if toks[i].is_punct("{") {
+            match matching_close(toks, i) {
+                Some(close) => {
+                    let b = toks[i..=close].to_vec();
+                    i = close + 1;
+                    b
+                }
+                None => break,
+            }
+        } else {
+            let b_start = i;
+            let mut depth = Depth::default();
+            while i < toks.len() && !(depth.at_top() && toks[i].is_punct(",")) {
+                depth.feed(&toks[i]);
+                i += 1;
+            }
+            toks[b_start..i].to_vec()
+        };
+        arms.push(MatchArm {
+            pattern,
+            guard,
+            body,
+            line,
+        });
+    }
+    arms
+}
+
+/// An enum variant: name plus, for single-field tuple variants, the last
+/// path segment of the payload type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// Variant identifier.
+    pub name: String,
+    /// `Some(last path segment)` for `Name(Payload)` tuple variants.
+    pub payload: Option<String>,
+}
+
+/// Extracts the variants of `enum name` from a file's tokens.
+pub fn extract_enum(toks: &[Tok], name: &str) -> Option<Vec<Variant>> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                j += 1;
+            }
+            let close = matching_close(toks, j)?;
+            return Some(parse_variants(&toks[j + 1..close]));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_variants(toks: &[Tok]) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip attributes and commas.
+        if toks[i].is_punct("#") {
+            if i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+                if let Some(close) = matching_close(toks, i + 1) {
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if toks[i].is_punct(",") {
+            i += 1;
+            continue;
+        }
+        if toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[i].text.clone();
+        i += 1;
+        let mut payload = None;
+        if i < toks.len() && toks[i].is_punct("(") {
+            if let Some(close) = matching_close(toks, i) {
+                payload = toks[i + 1..close]
+                    .iter()
+                    .rev()
+                    .find(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                i = close + 1;
+            }
+        }
+        // Skip discriminant or struct payload to the next top-level comma.
+        let mut depth = Depth::default();
+        while i < toks.len() && !(depth.at_top() && toks[i].is_punct(",")) {
+            depth.feed(&toks[i]);
+            i += 1;
+        }
+        out.push(Variant { name, payload });
+    }
+    out
+}
+
+/// Extracts `(field name, line)` pairs of `struct name`'s named fields.
+pub fn extract_struct_fields(toks: &[Tok], name: &str) -> Option<Vec<(String, u32)>> {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("struct") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                if toks[j].is_punct(";") || toks[j].is_punct("(") {
+                    return Some(Vec::new()); // unit or tuple struct
+                }
+                j += 1;
+            }
+            let close = matching_close(toks, j)?;
+            return Some(parse_fields(&toks[j + 1..close]));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_fields(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") {
+            if i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+                if let Some(close) = matching_close(toks, i + 1) {
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if toks[i].is_punct(",") || toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        if toks[i].is_punct("(") {
+            // pub(crate) visibility group.
+            if let Some(close) = matching_close(toks, i) {
+                i = close + 1;
+                continue;
+            }
+        }
+        if toks[i].kind == TokKind::Ident && i + 1 < toks.len() && toks[i + 1].is_punct(":") {
+            out.push((toks[i].text.clone(), toks[i].line));
+            i += 2;
+            // Skip the type to the next top-level comma.
+            let mut depth = Depth::default();
+            while i < toks.len() && !(depth.at_top() && toks[i].is_punct(",")) {
+                depth.feed(&toks[i]);
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Renders a pattern (or any token run) with path qualifiers dropped:
+/// `Probe::Discovery(DiscoveryIntent::Share)` → `Discovery(Share)`.
+pub fn normalize_pattern(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && i + 1 < toks.len() && toks[i + 1].is_punct("::") {
+            i += 2; // drop the qualifying segment and the `::`
+            continue;
+        }
+        if toks[i].is_punct("&") || toks[i].is_ident("ref") || toks[i].is_ident("mut") {
+            i += 1;
+            continue;
+        }
+        out.push_str(&toks[i].text);
+        i += 1;
+    }
+    out
+}
+
+/// Splits pattern tokens at top-depth `|` into alternatives.
+pub fn split_alternatives(toks: &[Tok]) -> Vec<Vec<Tok>> {
+    split_at_top(toks, "|")
+}
+
+/// Splits a tuple pattern `(a, b)` into its elements; returns `None` when
+/// the tokens are not a single parenthesized group.
+pub fn split_tuple(toks: &[Tok]) -> Option<Vec<Vec<Tok>>> {
+    let toks: Vec<Tok> = toks
+        .iter()
+        .filter(|t| !t.is_punct("&") && !t.is_ident("ref"))
+        .cloned()
+        .collect();
+    if toks.is_empty() || !toks[0].is_punct("(") {
+        return None;
+    }
+    let close = matching_close(&toks, 0)?;
+    if close != toks.len() - 1 {
+        return None;
+    }
+    Some(split_at_top(&toks[1..close], ","))
+}
+
+fn split_at_top(toks: &[Tok], sep: &str) -> Vec<Vec<Tok>> {
+    let mut parts = vec![Vec::new()];
+    let mut depth = Depth::default();
+    for t in toks {
+        if depth.at_top() && t.is_punct(sep) {
+            parts.push(Vec::new());
+            continue;
+        }
+        depth.feed(t);
+        parts.last_mut().expect("parts never empty").push(t.clone());
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{code_only, lex};
+
+    const SRC: &str = r#"
+pub enum Color { Red, Green(Hue), Blue }
+
+pub struct Pair {
+    /// doc
+    pub left: u64,
+    right: Vec<(String, u32)>,
+}
+
+fn pick(state: Color, n: u32) -> u32 {
+    match (state, n) {
+        (Color::Red, 0) => 1,
+        (Color::Green(h) | Color::Blue, _) if n > 2 => { body(h); 2 }
+        _ => panic!("bad"),
+    }
+}
+"#;
+
+    fn toks() -> Vec<crate::lexer::Tok> {
+        code_only(&lex(SRC))
+    }
+
+    #[test]
+    fn extracts_enum_variants_with_payloads() {
+        let v = extract_enum(&toks(), "Color").unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].name, "Green");
+        assert_eq!(v[1].payload.as_deref(), Some("Hue"));
+        assert_eq!(v[0].payload, None);
+    }
+
+    #[test]
+    fn extracts_struct_fields() {
+        let f = extract_struct_fields(&toks(), "Pair").unwrap();
+        let names: Vec<&str> = f.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["left", "right"]);
+    }
+
+    #[test]
+    fn parses_match_arms_with_guards_and_rejections() {
+        let t = toks();
+        let body = find_fn_body(&t, "pick").unwrap();
+        let ms = matches_in(body);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].scrutinee, "( state , n )");
+        let arms = &ms[0].arms;
+        assert_eq!(arms.len(), 3);
+        assert!(arms[1].guard.is_some());
+        assert!(arms[2].is_rejection());
+        assert!(!arms[1].is_rejection());
+    }
+
+    #[test]
+    fn tuple_and_alternative_splitting() {
+        let t = toks();
+        let body = find_fn_body(&t, "pick").unwrap();
+        let arms = &matches_in(body)[0].arms;
+        let elems = split_tuple(&arms[1].pattern).unwrap();
+        assert_eq!(elems.len(), 2);
+        let alts = split_alternatives(&elems[0]);
+        assert_eq!(alts.len(), 2);
+        assert_eq!(normalize_pattern(&alts[0]), "Green(h)");
+        assert_eq!(normalize_pattern(&alts[1]), "Blue");
+    }
+}

@@ -1,0 +1,91 @@
+//! JSON artifact emission for the transition matrix, via
+//! `stashdir-common::json` (no external serializers).
+
+use crate::coverage::Section;
+use crate::Finding;
+use stashdir_common::json::Value;
+
+fn pair_array(pairs: impl Iterator<Item = (String, String)>) -> Value {
+    Value::array(
+        pairs
+            .map(|(a, b)| Value::array(vec![Value::String(a), Value::String(b)]))
+            .collect(),
+    )
+}
+
+fn label_array(labels: &[String]) -> Value {
+    Value::array(labels.iter().cloned().map(Value::String).collect())
+}
+
+/// Renders one matrix section, including the computed diff sets.
+fn section_json(s: &Section) -> Value {
+    let uncovered: Vec<(String, String)> = s
+        .reachable
+        .iter()
+        .filter(|p| !s.source.contains_key(*p))
+        .cloned()
+        .collect();
+    let dead: Vec<(String, String)> = s
+        .source
+        .keys()
+        .filter(|p| !s.reachable.contains(*p) && !s.race_allowed.contains_key(*p))
+        .cloned()
+        .collect();
+    Value::object(vec![
+        ("name".to_string(), Value::String(s.name.to_string())),
+        ("rows".to_string(), label_array(&s.rows)),
+        ("cols".to_string(), label_array(&s.cols)),
+        ("source".to_string(), pair_array(s.source.keys().cloned())),
+        (
+            "reachable".to_string(),
+            pair_array(s.reachable.iter().cloned()),
+        ),
+        (
+            "race_allowed".to_string(),
+            Value::array(
+                s.race_allowed
+                    .iter()
+                    .map(|((a, b), why)| {
+                        Value::array(vec![
+                            Value::String(a.clone()),
+                            Value::String(b.clone()),
+                            Value::String(why.to_string()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("uncovered".to_string(), pair_array(uncovered.into_iter())),
+        ("dead".to_string(), pair_array(dead.into_iter())),
+    ])
+}
+
+/// Renders the full transition-matrix artifact.
+pub fn matrix_json(sections: &[Section], findings: &[Finding]) -> Value {
+    Value::object(vec![
+        (
+            "schema".to_string(),
+            Value::String("stashdir-lint/transition-matrix/v1".to_string()),
+        ),
+        (
+            "sections".to_string(),
+            Value::array(sections.iter().map(section_json).collect()),
+        ),
+        (
+            "findings".to_string(),
+            Value::array(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Value::object(vec![
+                            ("rule".to_string(), Value::String(f.rule.clone())),
+                            ("file".to_string(), Value::String(f.file.clone())),
+                            ("line".to_string(), Value::Number(f.line as f64)),
+                            ("message".to_string(), Value::String(f.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -1,0 +1,94 @@
+//! The `lint` binary: runs every `stashdir-lint` pass over a repo root,
+//! prints findings, writes the transition-matrix artifact, and exits
+//! non-zero when anything fires.
+//!
+//! ```text
+//! usage: lint [--root DIR] [--artifact FILE | --no-artifact] [--quiet]
+//! ```
+//!
+//! Defaults: `--root .`, artifact at
+//! `<root>/results/lint/transition_matrix.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut artifact: Option<PathBuf> = None;
+    let mut no_artifact = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--artifact" => match args.next() {
+                Some(v) => artifact = Some(PathBuf::from(v)),
+                None => return usage("--artifact needs a value"),
+            },
+            "--no-artifact" => no_artifact = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match stashdir_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: failed to read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !no_artifact {
+        let path = artifact.unwrap_or_else(|| {
+            root.join("results")
+                .join("lint")
+                .join("transition_matrix.json")
+        });
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("lint: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let mut text = report.matrix.render_pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            println!("lint: transition matrix written to {}", path.display());
+        }
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.findings.is_empty() {
+        if !quiet {
+            println!("lint: clean (0 findings)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {} finding(s)", report.findings.len());
+        ExitCode::from(1)
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("lint: {err}");
+    }
+    eprintln!("usage: lint [--root DIR] [--artifact FILE | --no-artifact] [--quiet]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

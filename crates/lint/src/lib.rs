@@ -1,0 +1,109 @@
+//! `stashdir-lint`: repo-specific static analysis for the stash-directory
+//! reproduction.
+//!
+//! Three passes, all built on a hand-rolled lexer (no `syn`, no network —
+//! consistent with the offline `stubs/` policy):
+//!
+//! 1. **Transition coverage** ([`coverage`]): extracts the
+//!    `(state × incoming-message)` transition matrix from the protocol
+//!    crate's `match` arms and diffs it against the reachable-transition
+//!    set recorded by the model-check explorer
+//!    (`stashdir_protocol::reachability`). Uncovered reachable
+//!    transitions and dead handler arms both fail the lint; pairs that
+//!    only arise through in-flight races live on a documented allowlist.
+//! 2. **Hot-path panics** ([`panics`]): no `unwrap()` / `expect()` /
+//!    panicking indexing in the hot crates (`core`, `protocol`, `sim`,
+//!    `mem`) outside an explicit `// lint: allow(...)` directive.
+//! 3. **Stat registration** ([`statreg`]): every stat field of
+//!    `SimReport` / `TimelineSample` / `Histogram` / `StatSink` must
+//!    appear in its merge/serialization path, so counters cannot be
+//!    silently dropped from sweep artifacts.
+//!
+//! The `lint` binary runs all passes over a repo root, prints findings,
+//! writes the transition-matrix JSON artifact, and exits non-zero on any
+//! finding — `ci.sh` runs it as a hard gate between clippy and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arms;
+pub mod artifact;
+pub mod coverage;
+pub mod lexer;
+pub mod panics;
+pub mod statreg;
+
+use stashdir_common::json::Value;
+use std::io;
+use std::path::Path;
+
+/// Rule name: reachable transition with no handling arm.
+pub const RULE_COVERAGE_UNCOVERED: &str = "transition-uncovered";
+/// Rule name: handled transition that is neither reachable nor
+/// race-allowlisted.
+pub const RULE_COVERAGE_DEAD: &str = "transition-dead";
+/// Rule name: the coverage extractor could not parse what it expected.
+pub const RULE_COVERAGE_PARSE: &str = "coverage-parse";
+/// Rule name: disallowed `.unwrap()`.
+pub const RULE_UNWRAP: &str = "unwrap";
+/// Rule name: disallowed `.expect()`.
+pub const RULE_EXPECT: &str = "expect";
+/// Rule name: disallowed panicking index expression.
+pub const RULE_INDEXING: &str = "indexing";
+/// Rule name: malformed or unknown `// lint:` directive.
+pub const RULE_DIRECTIVE: &str = "lint-directive";
+/// Rule name: stat field missing from a merge/serialization path.
+pub const RULE_STAT_UNREGISTERED: &str = "stat-unregistered";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (one of the `RULE_*` constants).
+    pub rule: String,
+    /// Repo-relative file the finding points at.
+    pub file: String,
+    /// 1-based line, or 0 when the finding is file- or model-level.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of running every pass.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All findings, sorted by file, line, then rule.
+    pub findings: Vec<Finding>,
+    /// The transition-matrix artifact (includes the findings).
+    pub matrix: Value,
+}
+
+/// Runs all passes over the repo at `root`.
+pub fn run(root: &Path) -> io::Result<LintReport> {
+    let mut findings = Vec::new();
+
+    let sources = coverage::CoverageSources::load(root)?;
+    let reachable = coverage::ReachablePairs::from_model(
+        &stashdir_protocol::reachability::reachable_transitions(),
+    );
+    let (sections, cov_findings) = coverage::analyze(&sources, &reachable);
+    findings.extend(cov_findings);
+
+    findings.extend(panics::scan_repo(root)?);
+    findings.extend(statreg::check_repo(root)?);
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    let matrix = artifact::matrix_json(&sections, &findings);
+    Ok(LintReport { findings, matrix })
+}

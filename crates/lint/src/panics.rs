@@ -1,0 +1,346 @@
+//! The hot-path panic lint: no `unwrap()`, `expect()`, or panicking
+//! indexing in the hot crates outside an explicit allow directive.
+//!
+//! Directives are ordinary comments:
+//!
+//! * `// lint: allow(unwrap)` — allows the named rule(s) on the
+//!   directive's own line and the line below it (so it works both as a
+//!   trailing comment and as a comment above the call).
+//! * `// lint: allow-file(indexing)` — allows the rule(s) for the whole
+//!   file; used where a file pervasively indexes by construction-valid
+//!   IDs (e.g. bank/core vectors sized at startup).
+//!
+//! Code under `#[cfg(test)] mod … { }` is skipped: tests may unwrap.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{Finding, RULE_DIRECTIVE, RULE_EXPECT, RULE_INDEXING, RULE_UNWRAP};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The crates whose `src/` trees the panic lint scans.
+pub const HOT_CRATES: &[&str] = &["core", "protocol", "sim", "mem"];
+
+const RULES: &[&str] = &[RULE_UNWRAP, RULE_EXPECT, RULE_INDEXING];
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (array literals, attribute syntax, types, …).
+fn is_indexable_prefix(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Ident => !matches!(
+            t.text.as_str(),
+            "if" | "else"
+                | "match"
+                | "return"
+                | "in"
+                | "mut"
+                | "ref"
+                | "box"
+                | "move"
+                | "break"
+                | "continue"
+                | "as"
+                | "where"
+                | "loop"
+                | "while"
+                | "for"
+                | "let"
+                | "static"
+                | "const"
+                | "crate"
+                | "super"
+                | "dyn"
+                | "impl"
+                | "fn"
+                | "use"
+                | "pub"
+                | "enum"
+                | "struct"
+                | "trait"
+                | "type"
+                | "unsafe"
+                | "await"
+                | "async"
+                | "yield"
+        ),
+        TokKind::Punct => matches!(t.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+#[derive(Debug, Default)]
+struct Allows {
+    file_rules: BTreeSet<String>,
+    line_rules: BTreeMap<String, BTreeSet<u32>>,
+}
+
+impl Allows {
+    fn allows(&self, rule: &str, line: u32) -> bool {
+        self.file_rules.contains(rule)
+            || self
+                .line_rules
+                .get(rule)
+                .is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+/// Parses every `lint:` directive out of the comment tokens; unknown
+/// rule names become findings so typos cannot silently disable a rule.
+fn collect_allows(file: &str, toks: &[Tok], findings: &mut Vec<Finding>) -> Allows {
+    let mut allows = Allows::default();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        let Some(at) = t.text.find("lint:") else {
+            continue;
+        };
+        let rest = t.text[at + "lint:".len()..].trim_start();
+        let (file_wide, args) = if let Some(a) = rest.strip_prefix("allow-file(") {
+            (true, a)
+        } else if let Some(a) = rest.strip_prefix("allow(") {
+            (false, a)
+        } else {
+            findings.push(Finding {
+                rule: RULE_DIRECTIVE.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                message: format!("unrecognized lint directive: `{}`", rest.trim_end()),
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            findings.push(Finding {
+                rule: RULE_DIRECTIVE.to_string(),
+                file: file.to_string(),
+                line: t.line,
+                message: "unterminated lint directive".to_string(),
+            });
+            continue;
+        };
+        for rule in args[..close].split(',').map(str::trim) {
+            if !RULES.contains(&rule) {
+                findings.push(Finding {
+                    rule: RULE_DIRECTIVE.to_string(),
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!("unknown rule `{rule}` in lint directive (known: {RULES:?})"),
+                });
+                continue;
+            }
+            if file_wide {
+                allows.file_rules.insert(rule.to_string());
+            } else {
+                let lines = allows.line_rules.entry(rule.to_string()).or_default();
+                lines.insert(t.line);
+                lines.insert(t.line + 1);
+            }
+        }
+    }
+    allows
+}
+
+/// Returns the index just past a `#[cfg(test)] mod … { }` block starting
+/// at `i` (which must point at `#`), or `None` when `i` starts no such
+/// block.
+fn skip_test_mod(toks: &[Tok], i: usize) -> Option<usize> {
+    if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+        return None;
+    }
+    // Find the attribute's closing `]` and require cfg(test) inside.
+    let mut depth = 0usize;
+    let mut close = None;
+    for (j, t) in toks.iter().enumerate().skip(i + 1) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                close = Some(j);
+                break;
+            }
+        }
+    }
+    let close = close?;
+    let attr = &toks[i + 2..close];
+    let is_cfg_test =
+        attr.first().is_some_and(|t| t.is_ident("cfg")) && attr.iter().any(|t| t.is_ident("test"));
+    if !is_cfg_test {
+        return None;
+    }
+    // Skip further attributes, then require `mod name {`.
+    let mut j = close + 1;
+    while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+        let mut depth = 0usize;
+        let mut k = j + 1;
+        while k < toks.len() {
+            if toks[k].is_punct("[") {
+                depth += 1;
+            } else if toks[k].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+        return None;
+    }
+    while j < toks.len() && !toks[j].is_punct("{") {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        if toks[j].is_punct("{") {
+            depth += 1;
+        } else if toks[j].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    Some(toks.len())
+}
+
+/// Scans one file's source for disallowed panicking constructs.
+pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let all_toks = lex(src);
+    let allows = collect_allows(file, &all_toks, &mut findings);
+    let toks: Vec<Tok> = all_toks
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+
+    let mut push = |rule: &str, line: u32, message: String| {
+        if !allows.allows(rule, line) {
+            findings.push(Finding {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(next) = skip_test_mod(&toks, i) {
+            i = next;
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            let name = toks[i + 1].text.as_str();
+            let line = toks[i + 1].line;
+            if name == "unwrap" {
+                push(
+                    RULE_UNWRAP,
+                    line,
+                    "`.unwrap()` in a hot crate; return an error, use a safe fallback, or add `// lint: allow(unwrap)`"
+                        .to_string(),
+                );
+            } else if name == "expect" {
+                push(
+                    RULE_EXPECT,
+                    line,
+                    "`.expect()` in a hot crate; return an error, use a safe fallback, or add `// lint: allow(expect)`"
+                        .to_string(),
+                );
+            }
+        }
+        if t.is_punct("[") && i > 0 && is_indexable_prefix(&toks[i - 1]) {
+            push(
+                RULE_INDEXING,
+                t.line,
+                "panicking index in a hot crate; use `.get()`, or add `// lint: allow(indexing)`"
+                    .to_string(),
+            );
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Recursively collects the `.rs` files under `dir`, sorted.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the hot crates' `src/` trees under `root`.
+pub fn scan_repo(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in HOT_CRATES {
+        let dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rs_files(&dir, &mut files)?;
+        for path in files {
+            let src = std::fs::read_to_string(&path)?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(scan_file(&label, &src));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_expect_and_indexing() {
+        let src =
+            "fn f(v: Vec<u32>, i: usize) -> u32 { v.get(i).unwrap(); x.expect(\"no\"); v[i] }";
+        let rules: Vec<String> = scan_file("t.rs", src).into_iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["unwrap", "expect", "indexing"]);
+    }
+
+    #[test]
+    fn allow_directives_suppress_same_and_next_line() {
+        let src = "fn f() {\n    a.unwrap(); // lint: allow(unwrap)\n    // lint: allow(expect)\n    b.expect(\"ok\");\n    c.unwrap();\n}";
+        let found = scan_file("t.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "unwrap");
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn allow_file_covers_everything_and_unknown_rules_are_findings() {
+        let src = "// lint: allow-file(indexing)\nfn f() { v[0]; w[1] }\n// lint: allow(unwrp)\n";
+        let found = scan_file("t.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "lint-directive");
+    }
+
+    #[test]
+    fn test_mods_array_literals_attributes_and_macros_are_exempt() {
+        let src = "#[derive(Clone)]\nstruct S;\nfn f() { let a = [0u8; 4]; let v = vec![1]; }\n#[cfg(test)]\nmod tests { fn g() { x.unwrap(); y[0]; } }\n";
+        assert!(scan_file("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let src = "fn f() { let s = \"a.unwrap() b[0]\"; /* v[1].expect(\"x\") */ }";
+        assert!(scan_file("t.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! The stat-registration rule: every field of the statistics-carrying
+//! structs must appear in the corresponding merge/serialization paths.
+//!
+//! Adding a counter to `SimReport` (or a field to `Histogram`) and
+//! forgetting to thread it through the artifact serializer or the merge
+//! function silently drops data from sweeps — exactly the failure mode a
+//! future sharded/mergeable `StatSink` would amplify. The rule is
+//! textual on purpose: a field is "registered" when its identifier
+//! occurs in the registry function's body.
+
+use crate::arms::{extract_struct_fields, find_fn_body};
+use crate::lexer::{code_only, lex, Tok, TokKind};
+use crate::{Finding, RULE_COVERAGE_PARSE, RULE_STAT_UNREGISTERED};
+use std::io;
+use std::path::Path;
+
+/// Where a struct's fields must be mentioned.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    /// Repo-relative path of the file holding the registry function.
+    pub file: &'static str,
+    /// Function whose body must mention every field.
+    pub function: &'static str,
+}
+
+/// One struct-to-registries rule.
+#[derive(Debug, Clone)]
+pub struct RegRule {
+    /// Repo-relative path of the file defining the struct.
+    pub struct_file: &'static str,
+    /// The struct whose fields are checked.
+    pub struct_name: &'static str,
+    /// Every registry the fields must appear in.
+    pub registries: &'static [Registry],
+}
+
+/// The repo's stat-registration rules.
+pub const RULES: &[RegRule] = &[
+    RegRule {
+        struct_file: "crates/sim/src/report.rs",
+        struct_name: "SimReport",
+        registries: &[
+            Registry {
+                file: "crates/harness/src/artifact.rs",
+                function: "report_to_json",
+            },
+            Registry {
+                file: "crates/harness/src/artifact.rs",
+                function: "report_from_json",
+            },
+        ],
+    },
+    RegRule {
+        struct_file: "crates/sim/src/report.rs",
+        struct_name: "TimelineSample",
+        registries: &[
+            Registry {
+                file: "crates/harness/src/artifact.rs",
+                function: "sample_to_json",
+            },
+            Registry {
+                file: "crates/harness/src/artifact.rs",
+                function: "sample_from_json",
+            },
+        ],
+    },
+    RegRule {
+        struct_file: "crates/common/src/stats.rs",
+        struct_name: "Histogram",
+        registries: &[Registry {
+            file: "crates/common/src/stats.rs",
+            function: "merge",
+        }],
+    },
+    RegRule {
+        struct_file: "crates/common/src/stats.rs",
+        struct_name: "StatSink",
+        registries: &[Registry {
+            file: "crates/common/src/stats.rs",
+            function: "merge_add",
+        }],
+    },
+];
+
+/// Checks one struct's fields against one registry function body; both
+/// arguments are pre-lexed, comment-free token streams.
+pub fn check_registration(
+    struct_toks: &[Tok],
+    struct_name: &str,
+    struct_file: &str,
+    registry_toks: &[Tok],
+    registry_file: &str,
+    registry_fn: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(fields) = extract_struct_fields(struct_toks, struct_name) else {
+        findings.push(Finding {
+            rule: RULE_COVERAGE_PARSE.to_string(),
+            file: struct_file.to_string(),
+            line: 0,
+            message: format!("struct {struct_name} not found"),
+        });
+        return findings;
+    };
+    let Some(body) = find_fn_body(registry_toks, registry_fn) else {
+        findings.push(Finding {
+            rule: RULE_COVERAGE_PARSE.to_string(),
+            file: registry_file.to_string(),
+            line: 0,
+            message: format!("registry function {registry_fn} not found"),
+        });
+        return findings;
+    };
+    let mentioned: std::collections::BTreeSet<&str> = body
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    for (field, line) in &fields {
+        if !mentioned.contains(field.as_str()) {
+            findings.push(Finding {
+                rule: RULE_STAT_UNREGISTERED.to_string(),
+                file: struct_file.to_string(),
+                line: *line,
+                message: format!(
+                    "stat field `{struct_name}.{field}` does not appear in {registry_fn}() ({registry_file}); it would be dropped on merge/serialization"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Runs all [`RULES`] against the repo at `root`.
+pub fn check_repo(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut cache: std::collections::BTreeMap<&'static str, Vec<Tok>> =
+        std::collections::BTreeMap::new();
+    let mut load = |file: &'static str| -> io::Result<Vec<Tok>> {
+        if let Some(t) = cache.get(file) {
+            return Ok(t.clone());
+        }
+        let src = std::fs::read_to_string(root.join(file))?;
+        let toks = code_only(&lex(&src));
+        cache.insert(file, toks.clone());
+        Ok(toks)
+    };
+    for rule in RULES {
+        let struct_toks = load(rule.struct_file)?;
+        for reg in rule.registries {
+            let reg_toks = load(reg.file)?;
+            findings.extend(check_registration(
+                &struct_toks,
+                rule.struct_name,
+                rule.struct_file,
+                &reg_toks,
+                reg.file,
+                reg.function,
+            ));
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{code_only, lex};
+
+    #[test]
+    fn missing_field_is_flagged() {
+        let s = code_only(&lex(
+            "pub struct R { pub hits: u64, pub misses: u64, pub stalls: u64 }",
+        ));
+        let r = code_only(&lex("fn to_json(r: &R) { emit(r.hits); emit(r.misses); }"));
+        let f = check_registration(&s, "R", "s.rs", &r, "r.rs", "to_json");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("R.stalls"));
+    }
+
+    #[test]
+    fn fully_registered_struct_is_clean() {
+        let s = code_only(&lex("pub struct R { a: u64, b: u64 }"));
+        let r = code_only(&lex("fn m(x: &mut R, y: &R) { x.a += y.a; x.b |= y.b; }"));
+        assert!(check_registration(&s, "R", "s.rs", &r, "r.rs", "m").is_empty());
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture mirror of the memory-operation kinds.
+
+pub enum MemOpKind {
+    Read,
+    Write,
+}

@@ -1,0 +1,24 @@
+//! Fixture stats structs whose fields are all properly registered in
+//! their merge paths — this file stays clean.
+
+pub struct Histogram {
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+    }
+}
+
+pub struct StatSink {
+    pub counters: Vec<(String, u64)>,
+}
+
+impl StatSink {
+    pub fn merge_add(&mut self, other: &StatSink) {
+        self.counters.extend(other.counters.iter().cloned());
+    }
+}

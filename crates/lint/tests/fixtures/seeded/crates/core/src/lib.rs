@@ -1,0 +1,3 @@
+//! Fixture hot crate with nothing to flag.
+
+pub fn nothing() {}

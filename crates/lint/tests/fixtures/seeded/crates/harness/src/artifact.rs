@@ -1,0 +1,25 @@
+//! Fixture serialization paths. `report_to_json` drops
+//! `SimReport.lost_counter` — the seeded stat-registration violation.
+//! `report_from_json` and the sample paths mention every field.
+
+pub fn report_to_json(r: &SimReport) -> Value {
+    obj(&[("cycles", r.cycles)])
+}
+
+pub fn report_from_json(v: &Value) -> SimReport {
+    SimReport {
+        cycles: num(v, "cycles"),
+        lost_counter: 0,
+    }
+}
+
+pub fn sample_to_json(s: &TimelineSample) -> Value {
+    obj(&[("at", s.at), ("l2_misses", s.l2_misses)])
+}
+
+pub fn sample_from_json(v: &Value) -> TimelineSample {
+    TimelineSample {
+        at: num(v, "at"),
+        l2_misses: num(v, "l2_misses"),
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture home-side decision functions with full view coverage, so the
+//! only seeded coverage violation lives in `private.rs`.
+
+pub enum DirView {
+    Untracked,
+    Exclusive(CoreId),
+    Shared(SharerSet),
+}
+
+pub fn decide(req: Request, view: &DirView) -> Decision {
+    match req {
+        Request::GetS => decide_gets(view),
+        Request::GetM | Request::Upgrade => decide_getm(view),
+        Request::PutS | Request::PutE | Request::PutM => {
+            unreachable!("puts go through decide_put")
+        }
+    }
+}
+
+fn decide_gets(view: &DirView) -> Decision {
+    match view {
+        DirView::Untracked => decision(),
+        DirView::Exclusive(_) => decision(),
+        DirView::Shared(_) => decision(),
+    }
+}
+
+fn decide_getm(view: &DirView) -> Decision {
+    match view {
+        DirView::Untracked => decision(),
+        DirView::Exclusive(_) => decision(),
+        DirView::Shared(_) => decision(),
+    }
+}
+
+pub fn decide_put(req: Request, from: CoreId, view: &DirView) -> PutOutcome {
+    match req {
+        Request::PutS | Request::PutE | Request::PutM => match view {
+            DirView::Untracked => put(),
+            DirView::Exclusive(_) => put(),
+            DirView::Shared(_) => put(),
+        },
+        _ => unreachable!("demand requests go through decide"),
+    }
+}

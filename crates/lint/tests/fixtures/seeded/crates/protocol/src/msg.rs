@@ -1,0 +1,25 @@
+//! Fixture mirror of the protocol message enums. The axis labels must
+//! match the real crate's, since the fixture is diffed against the real
+//! model's reachable set.
+
+pub enum Request {
+    GetS,
+    GetM,
+    Upgrade,
+    PutS,
+    PutE,
+    PutM,
+}
+
+pub enum Probe {
+    FwdGetS,
+    FwdGetM,
+    Inv,
+    Recall,
+    Discovery(DiscoveryIntent),
+}
+
+pub enum DiscoveryIntent {
+    Share,
+    Invalidate,
+}

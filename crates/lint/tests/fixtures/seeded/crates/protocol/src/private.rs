@@ -1,0 +1,24 @@
+//! Fixture with a seeded coverage hole: the `(Modified, FwdGetS)` probe
+//! transition is reachable in the model but has no handling arm here.
+
+pub enum PrivState {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid,
+}
+
+pub fn probe(state: PrivState, probe: Probe) -> ProbeEffect {
+    match (state, probe) {
+        (PrivState::Modified, Probe::FwdGetM | Probe::Inv | Probe::Recall | Probe::Discovery(_)) => {
+            effect()
+        }
+        (PrivState::Exclusive | PrivState::Shared | PrivState::Invalid, _) => effect(),
+    }
+}
+
+pub fn local_access(state: PrivState, op: MemOpKind) -> AccessOutcome {
+    match (state, op) {
+        (_, _) => outcome(),
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture with seeded hot-path panic violations: one `unwrap()`, one
+//! `expect()`, and one panicking index, none of them allowlisted.
+
+pub fn bad(v: &[u32]) -> u32 {
+    let x = v.first().unwrap();
+    let y = v.iter().next().expect("seeded violation");
+    v[0] + x + y
+}
+
+pub fn fine(v: &[u32]) -> u32 {
+    v.get(1).copied().unwrap_or(0)
+}

@@ -1,0 +1,13 @@
+//! Fixture report structs. `SimReport.lost_counter` is deliberately
+//! missing from `report_to_json` in the fixture harness artifact module,
+//! seeding a stat-registration violation.
+
+pub struct SimReport {
+    pub cycles: u64,
+    pub lost_counter: u64,
+}
+
+pub struct TimelineSample {
+    pub at: u64,
+    pub l2_misses: u64,
+}

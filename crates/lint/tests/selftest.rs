@@ -1,0 +1,196 @@
+//! End-to-end self-tests for `stashdir-lint`.
+//!
+//! Two directions: the lint must be **clean on this repository** (the CI
+//! gate), and it must **fire on the seeded fixture tree** under
+//! `tests/fixtures/seeded/`, which plants one violation per rule family:
+//! an uncovered reachable transition, a disallowed `unwrap()` /
+//! `expect()` / panicking index, and an unregistered stat field.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use stashdir_common::json::Value;
+use stashdir_lint::{
+    coverage, RULE_COVERAGE_PARSE, RULE_COVERAGE_UNCOVERED, RULE_EXPECT, RULE_INDEXING,
+    RULE_STAT_UNREGISTERED, RULE_UNWRAP,
+};
+use stashdir_protocol::reachability::reachable_transitions;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/seeded")
+}
+
+fn render_findings(findings: &[stashdir_lint::Finding]) -> String {
+    findings
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The CI gate in test form: zero findings on the repository itself.
+#[test]
+fn repo_is_clean() {
+    let report = stashdir_lint::run(&repo_root()).expect("repo sources readable");
+    assert!(
+        report.findings.is_empty(),
+        "lint findings on the repo:\n{}",
+        render_findings(&report.findings)
+    );
+}
+
+/// Every seeded fixture violation fires, and nothing else does.
+#[test]
+fn seeded_fixture_fires_each_rule() {
+    let report = stashdir_lint::run(&fixture_root()).expect("fixture sources readable");
+    let has = |rule: &str, frag: &str| {
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && (f.message.contains(frag) || f.file.contains(frag)))
+    };
+    assert!(
+        has(RULE_COVERAGE_UNCOVERED, "(Modified, FwdGetS)"),
+        "missing uncovered-transition finding:\n{}",
+        render_findings(&report.findings)
+    );
+    assert!(has(RULE_UNWRAP, "bad.rs"), "missing unwrap finding");
+    assert!(has(RULE_EXPECT, "bad.rs"), "missing expect finding");
+    assert!(has(RULE_INDEXING, "bad.rs"), "missing indexing finding");
+    assert!(
+        has(RULE_STAT_UNREGISTERED, "SimReport.lost_counter"),
+        "missing stat-registration finding:\n{}",
+        render_findings(&report.findings)
+    );
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == RULE_COVERAGE_PARSE),
+        "fixture must parse cleanly:\n{}",
+        render_findings(&report.findings)
+    );
+    assert_eq!(
+        report.findings.len(),
+        5,
+        "exactly the five seeded violations:\n{}",
+        render_findings(&report.findings)
+    );
+}
+
+/// The repo's match arms cover exactly the model's reachable set plus the
+/// documented race allowlist — no more, no less.
+#[test]
+fn repo_matrix_matches_model_reachable_set() {
+    let src = coverage::CoverageSources::load(&repo_root()).expect("protocol sources readable");
+    let reachable = coverage::ReachablePairs::from_model(&reachable_transitions());
+    let (sections, findings) = coverage::analyze(&src, &reachable);
+    assert!(
+        findings.is_empty(),
+        "coverage findings:\n{}",
+        render_findings(&findings)
+    );
+    assert_eq!(
+        sections.iter().map(|s| s.name).collect::<Vec<_>>(),
+        ["private_probe", "local_access", "home"]
+    );
+    for s in &sections {
+        for pair in &s.reachable {
+            assert!(
+                s.source.contains_key(pair),
+                "[{}] reachable {pair:?} not in source",
+                s.name
+            );
+        }
+        for pair in s.source.keys() {
+            assert!(
+                s.reachable.contains(pair) || s.race_allowed.contains_key(pair),
+                "[{}] source {pair:?} neither reachable nor race-allowed",
+                s.name
+            );
+        }
+        assert!(!s.rows.is_empty() && !s.cols.is_empty());
+    }
+}
+
+/// The transition-matrix artifact parses back and records the seeded
+/// coverage hole in the fixture's `uncovered` set.
+#[test]
+fn artifact_records_the_seeded_hole() {
+    let report = stashdir_lint::run(&fixture_root()).expect("fixture sources readable");
+    let parsed = Value::parse(&report.matrix.render()).expect("artifact renders valid JSON");
+    assert_eq!(
+        parsed.get("schema").and_then(Value::as_str),
+        Some("stashdir-lint/transition-matrix/v1")
+    );
+    let sections = parsed
+        .get("sections")
+        .and_then(Value::as_array)
+        .expect("sections array");
+    let probe = sections
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some("private_probe"))
+        .expect("private_probe section");
+    let uncovered = probe
+        .get("uncovered")
+        .and_then(Value::as_array)
+        .expect("uncovered array");
+    let as_pair = |v: &Value| -> Option<(String, String)> {
+        let a = v.as_array()?;
+        Some((
+            a.first()?.as_str()?.to_string(),
+            a.get(1)?.as_str()?.to_string(),
+        ))
+    };
+    assert_eq!(
+        uncovered.iter().filter_map(as_pair).collect::<Vec<_>>(),
+        [("Modified".to_string(), "FwdGetS".to_string())]
+    );
+    assert!(!parsed
+        .get("findings")
+        .and_then(Value::as_array)
+        .expect("findings array")
+        .is_empty());
+}
+
+/// The `lint` binary's exit codes: 0 on the clean repo, 1 on the seeded
+/// fixture.
+#[test]
+fn binary_exit_codes_gate_ci() {
+    let clean = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(["--root"])
+        .arg(repo_root())
+        .arg("--no-artifact")
+        .arg("--quiet")
+        .output()
+        .expect("run lint binary");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let artifact = std::env::temp_dir().join(format!(
+        "stashdir_lint_selftest_{}.json",
+        std::process::id()
+    ));
+    let seeded = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(["--root"])
+        .arg(fixture_root())
+        .arg("--artifact")
+        .arg(&artifact)
+        .output()
+        .expect("run lint binary");
+    assert_eq!(seeded.status.code(), Some(1));
+    let text = std::fs::read_to_string(&artifact).expect("artifact written");
+    let _ = std::fs::remove_file(&artifact);
+    assert!(Value::parse(&text).is_ok(), "artifact is valid JSON");
+    let out = String::from_utf8_lossy(&seeded.stdout);
+    assert!(out.contains("5 finding(s)"), "stdout:\n{out}");
+}

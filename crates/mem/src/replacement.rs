@@ -7,6 +7,9 @@
 //!
 //! [`SetAssoc`]: crate::SetAssoc
 
+// lint: allow-file(indexing) — every index is a way number bounded by the
+// per-set vectors sized at construction; `valid` always has `ways` slots.
+
 use serde::{Deserialize, Serialize};
 use stashdir_common::DetRng;
 use std::fmt;
@@ -104,12 +107,8 @@ impl Lru {
     }
 
     fn promote(&mut self, way: usize) {
-        let pos = self
-            .stack
-            .iter()
-            .position(|&w| w == way)
-            .expect("way tracked by LRU stack");
-        self.stack.remove(pos);
+        debug_assert!(self.stack.contains(&way), "way tracked by LRU stack");
+        self.stack.retain(|&w| w != way);
         self.stack.push(way);
     }
 }
@@ -124,11 +123,8 @@ impl ReplacementPolicy for Lru {
     }
 
     fn victim(&mut self, valid: &[bool], _rng: &mut DetRng) -> usize {
-        *self
-            .stack
-            .iter()
-            .find(|&&w| valid[w])
-            .expect("at least one valid way")
+        debug_assert!(valid.contains(&true), "victim() needs a valid way");
+        self.stack.iter().copied().find(|&w| valid[w]).unwrap_or(0)
     }
 }
 
@@ -148,23 +144,16 @@ impl Fifo {
 
 impl ReplacementPolicy for Fifo {
     fn on_fill(&mut self, way: usize) {
-        let pos = self
-            .queue
-            .iter()
-            .position(|&w| w == way)
-            .expect("way tracked by FIFO queue");
-        self.queue.remove(pos);
+        debug_assert!(self.queue.contains(&way), "way tracked by FIFO queue");
+        self.queue.retain(|&w| w != way);
         self.queue.push(way);
     }
 
     fn on_hit(&mut self, _way: usize) {}
 
     fn victim(&mut self, valid: &[bool], _rng: &mut DetRng) -> usize {
-        *self
-            .queue
-            .iter()
-            .find(|&&w| valid[w])
-            .expect("at least one valid way")
+        debug_assert!(valid.contains(&true), "victim() needs a valid way");
+        self.queue.iter().copied().find(|&w| valid[w]).unwrap_or(0)
     }
 }
 
@@ -214,10 +203,9 @@ impl ReplacementPolicy for Nru {
             return w;
         }
         // Everyone referenced: clear and take the first valid way.
+        debug_assert!(valid.contains(&true), "victim() needs a valid way");
         self.referenced.iter_mut().for_each(|r| *r = false);
-        (0..self.referenced.len())
-            .find(|&w| valid[w])
-            .expect("at least one valid way")
+        (0..self.referenced.len()).find(|&w| valid[w]).unwrap_or(0)
     }
 }
 
@@ -331,9 +319,8 @@ impl ReplacementPolicy for TreePlru {
         }
         // Padding leaf (non-power-of-two ways) or invalid way: fall back to
         // the first valid way, preserving pseudo-LRU's O(1) spirit.
-        (0..self.ways)
-            .find(|&w| valid[w])
-            .expect("at least one valid way")
+        debug_assert!(valid.contains(&true), "victim() needs a valid way");
+        (0..self.ways).find(|&w| valid[w]).unwrap_or(0)
     }
 }
 

@@ -5,6 +5,10 @@
 //! pluggable replacement policy. It is the storage substrate for the
 //! private caches, the LLC banks and the sparse/stash directory slices.
 
+// lint: allow-file(indexing) — set indices are masked by `set_mask` and
+// way indices come from `way_of`/`free_way`/the policy, all bounded by the
+// per-set `ways` vector sized at construction.
+
 use crate::replacement::{ReplKind, ReplacementPolicy};
 use stashdir_common::{BlockAddr, DetRng};
 
@@ -118,7 +122,9 @@ impl<L> SetAssoc<L> {
     /// Returns the payload for `block` without updating recency.
     pub fn get(&self, block: BlockAddr) -> Option<&L> {
         let set = &self.sets[self.set_index(block)];
-        set.way_of(block).map(|w| &set.ways[w].as_ref().unwrap().1)
+        set.way_of(block)
+            .and_then(|w| set.ways[w].as_ref())
+            .map(|(_, l)| l)
     }
 
     /// Returns the payload for `block` mutably without updating recency.
@@ -126,7 +132,8 @@ impl<L> SetAssoc<L> {
         let idx = self.set_index(block);
         let set = &mut self.sets[idx];
         set.way_of(block)
-            .map(|w| &mut set.ways[w].as_mut().unwrap().1)
+            .and_then(|w| set.ways[w].as_mut())
+            .map(|(_, l)| l)
     }
 
     /// Tests whether `block` is present.
@@ -154,7 +161,7 @@ impl<L> SetAssoc<L> {
         let set = &mut self.sets[idx];
         let w = set.way_of(block)?;
         set.policy.on_hit(w);
-        Some(&mut set.ways[w].as_mut().unwrap().1)
+        set.ways[w].as_mut().map(|(_, l)| l)
     }
 
     /// Inserts `block`, evicting and returning the replacement victim if
@@ -198,7 +205,7 @@ impl<L> SetAssoc<L> {
         }
         let valid = set.valid_mask();
         let w = set.policy.victim(&valid, &mut self.rng);
-        Some(set.ways[w].as_ref().unwrap().0)
+        set.ways[w].as_ref().map(|(b, _)| *b)
     }
 
     /// Removes `block`, returning its payload.

@@ -29,6 +29,7 @@
 pub mod home;
 pub mod msg;
 pub mod private;
+pub mod reachability;
 
 pub use home::{
     decide, decide_put, discovery_intent, discovery_targets, needs_discovery, DirView, PutOutcome,

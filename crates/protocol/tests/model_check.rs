@@ -1,453 +1,20 @@
 //! Exhaustive model checking of the protocol decision layer.
 //!
-//! Explores, by breadth-first search, **every reachable state** of a
-//! 3-core single-block abstract machine driven by the crate's pure
-//! decision functions (`local_access`, `probe`, `decide`, `decide_put`,
-//! `needs_discovery`), under both the conventional sparse and the stash
-//! eviction disciplines, with and without clean-eviction notification.
-//!
-//! The abstraction: transactions are atomic (exactly the serialization
-//! the simulator's home nodes enforce), and data is tracked as a
-//! *freshness bit* per location (a write makes the writer's copy the only
-//! fresh one; transfers copy freshness from the source). The checked
-//! properties are then:
-//!
-//! * **Single writer**: at most one E/M copy; E/M excludes other copies.
-//! * **Grant freshness**: every read/write transaction hands the
-//!   requester *fresh* data — stale grants are exactly the bugs a broken
-//!   stash/discovery design would introduce.
-//! * **Coverage**: every valid copy is directory-tracked, or hidden
-//!   under the stash bit (stash mode only).
-//! * **Reachability**: some location (copy, LLC, or memory) always holds
-//!   fresh data — no lost writes.
-//!
-//! In-flight races (writeback buffers, message overtaking) are the
-//! simulator's concern and are fuzzed there; this test nails down the
-//! *decision layer* exhaustively.
+//! The abstract machine, its invariants, and the BFS explorer live in
+//! [`stashdir_protocol::reachability`] so the `stashdir-lint` pass can
+//! reuse the reachable-transition set; these tests drive it across all
+//! four modes and sanity-check both the state counts and the recorded
+//! transition sets. Any invariant violation panics inside `explore`.
 
-use stashdir_common::{CoreId, SharerSet};
-use stashdir_protocol::{
-    decide, decide_put, discovery_intent, local_access, needs_discovery, probe, AccessOutcome,
-    DirView, Grant, MemOpKind, PrivState, Probe, PutOutcome, Request,
-};
-use std::collections::{HashSet, VecDeque};
-
-const N: usize = 3;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CoreSt {
-    state: PrivState,
-    fresh: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum View {
-    Untracked,
-    Exclusive(usize),
-    Shared(u8), // bitmask over N cores
-}
-
-impl View {
-    fn to_dir_view(self) -> DirView {
-        match self {
-            View::Untracked => DirView::Untracked,
-            View::Exclusive(c) => DirView::Exclusive(CoreId::new(c as u16)),
-            View::Shared(mask) => {
-                let mut set = SharerSet::new(N as u16);
-                for c in 0..N {
-                    if mask & (1 << c) != 0 {
-                        set.insert(CoreId::new(c as u16));
-                    }
-                }
-                DirView::Shared(set)
-            }
-        }
-    }
-
-    fn from_dir_view(view: &DirView) -> Self {
-        match view {
-            DirView::Untracked => View::Untracked,
-            DirView::Exclusive(c) => View::Exclusive(c.index()),
-            DirView::Shared(set) => {
-                let mut mask = 0u8;
-                for c in set.iter() {
-                    mask |= 1 << c.index();
-                }
-                View::Shared(mask)
-            }
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct St {
-    cores: [CoreSt; N],
-    view: View,
-    stash: bool,
-    llc_present: bool,
-    llc_fresh: bool,
-    dram_fresh: bool,
-}
-
-impl St {
-    fn initial() -> St {
-        St {
-            cores: [CoreSt {
-                state: PrivState::Invalid,
-                fresh: false,
-            }; N],
-            view: View::Untracked,
-            stash: false,
-            llc_present: false,
-            llc_fresh: true, // never written: everything "fresh"
-            dram_fresh: true,
-        }
-    }
-
-    fn holders(&self) -> Vec<usize> {
-        (0..N)
-            .filter(|&c| self.cores[c].state != PrivState::Invalid)
-            .collect()
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Mode {
-    stash_dir: bool,
-    notify_clean: bool,
-}
-
-/// Applies a probe to core `c`, updating freshness bookkeeping; returns
-/// whether the reply carried data and whether that data was fresh.
-fn apply_probe(st: &mut St, c: usize, p: Probe) -> (bool, bool, bool) {
-    let effect = probe(st.cores[c].state, p);
-    let had_data = effect.reply.has_data();
-    let was_fresh = st.cores[c].fresh;
-    let dirty = st.cores[c].state == PrivState::Modified;
-    st.cores[c].state = effect.next;
-    if effect.next == PrivState::Invalid {
-        st.cores[c].fresh = false;
-    }
-    if had_data && dirty {
-        // Dirty data is written through to the LLC.
-        st.llc_fresh = was_fresh;
-    }
-    (had_data, was_fresh, effect.next != PrivState::Invalid)
-}
-
-/// Ensures the LLC holds the block (fetching from memory).
-fn ensure_llc(st: &mut St) {
-    if !st.llc_present {
-        st.llc_present = true;
-        st.llc_fresh = st.dram_fresh;
-    }
-}
-
-/// One atomic demand transaction. Returns the successor state, panicking
-/// on any protocol-rule violation along the way.
-fn demand(mut st: St, c: usize, op: MemOpKind, mode: Mode) -> St {
-    let req = match local_access(st.cores[c].state, op) {
-        AccessOutcome::Hit(next) => {
-            // Local hit: must be reading/writing fresh data.
-            assert!(st.cores[c].fresh || !anyone_wrote(&st), "stale local hit");
-            st.cores[c].state = next;
-            if op == MemOpKind::Write {
-                write_by(&mut st, c);
-            }
-            return st;
-        }
-        AccessOutcome::Miss(req) => req,
-    };
-
-    // Discovery phase.
-    let mut view = st.view.to_dir_view();
-    if mode.stash_dir && needs_discovery(&view, st.stash) {
-        let intent = discovery_intent(req);
-        let exclude = if req == Request::Upgrade {
-            None
-        } else {
-            Some(c)
-        };
-        let mut found: Option<(usize, bool, bool)> = None;
-        for t in 0..N {
-            if Some(t) == exclude {
-                continue;
-            }
-            let before = st.cores[t].state;
-            let (had_data, was_fresh, retained) = apply_probe(&mut st, t, Probe::Discovery(intent));
-            if before != PrivState::Invalid || had_data {
-                assert!(found.is_none(), "two hidden copies discovered");
-                if before != PrivState::Invalid {
-                    found = Some((t, was_fresh, retained));
-                }
-            }
-        }
-        st.stash = false;
-        if let Some((owner, _, retained)) = found {
-            if retained && st.cores[owner].state == PrivState::Shared {
-                view = DirView::Shared(SharerSet::singleton(N as u16, CoreId::new(owner as u16)));
-            }
-        }
-    }
-
-    let outcome = decide(req, CoreId::new(c as u16), &view, N as u16);
-
-    // Probe phase.
-    let mut data_from_owner: Option<bool> = None; // fresh?
-    let mut owner_retained = false;
-    let mut had_fwdgets = false;
-    for &(target, p) in &outcome.probes {
-        let t = target.index();
-        let (had_data, was_fresh, retained) = apply_probe(&mut st, t, p);
-        if had_data {
-            data_from_owner = Some(was_fresh);
-        }
-        if p == Probe::FwdGetS {
-            had_fwdgets = true;
-            owner_retained = retained;
-        }
-    }
-
-    // Data phase.
-    let (granted_state, granted_fresh) = if outcome.needs_data {
-        match data_from_owner {
-            Some(fresh) => (grant_state(outcome.grant), fresh),
-            None => {
-                ensure_llc(&mut st);
-                (grant_state(outcome.grant), st.llc_fresh)
-            }
-        }
-    } else {
-        (PrivState::Modified, st.cores[c].fresh)
-    };
-
-    // THE property: granted data is always fresh.
-    assert!(
-        granted_fresh || !anyone_wrote(&st),
-        "stale grant to core {c} for {req} in mode {mode:?}"
-    );
-
-    st.cores[c].state = granted_state;
-    st.cores[c].fresh = granted_fresh;
-    ensure_llc(&mut st); // tracked blocks are LLC-resident
-
-    // Directory update (reconciled like the simulator does).
-    let mut new_view = outcome.new_view.clone();
-    if had_fwdgets && !owner_retained {
-        if let DirView::Shared(set) = &new_view {
-            new_view = DirView::Shared(SharerSet::singleton(set.capacity(), CoreId::new(c as u16)));
-        }
-    }
-    st.view = View::from_dir_view(&new_view);
-    st.stash = false;
-
-    if op == MemOpKind::Write {
-        write_by(&mut st, c);
-    }
-    st
-}
-
-fn grant_state(grant: Grant) -> PrivState {
-    match grant {
-        Grant::Shared => PrivState::Shared,
-        Grant::Exclusive => PrivState::Exclusive,
-        Grant::Modified => PrivState::Modified,
-    }
-}
-
-/// After any write, exactly the writer holds fresh data.
-fn write_by(st: &mut St, c: usize) {
-    assert_eq!(st.cores[c].state, PrivState::Modified, "write without M");
-    for t in 0..N {
-        st.cores[t].fresh = t == c;
-    }
-    st.llc_fresh = false;
-    st.dram_fresh = false;
-}
-
-/// `true` once any write has happened (freshness starts vacuous).
-fn anyone_wrote(st: &St) -> bool {
-    !st.dram_fresh || !st.llc_fresh || st.cores.iter().any(|c| c.fresh)
-}
-
-/// Core `c` evicts its copy (atomic put processing at the home).
-fn evict_l2(mut st: St, c: usize, mode: Mode) -> Option<St> {
-    let state = st.cores[c].state;
-    if state == PrivState::Invalid {
-        return None;
-    }
-    let req = match state {
-        PrivState::Modified => Request::PutM,
-        PrivState::Exclusive => Request::PutE,
-        PrivState::Shared => Request::PutS,
-        PrivState::Invalid => unreachable!(),
-    };
-    let was_fresh = st.cores[c].fresh;
-    st.cores[c].state = PrivState::Invalid;
-    st.cores[c].fresh = false;
-    if req != Request::PutM && !mode.notify_clean {
-        // Silent clean drop: the home never hears about it.
-        return Some(st);
-    }
-    let view = st.view.to_dir_view();
-    match decide_put(req, CoreId::new(c as u16), &view) {
-        PutOutcome::Accept {
-            new_view,
-            writeback,
-        } => {
-            if writeback {
-                st.llc_fresh = was_fresh;
-            }
-            st.view = View::from_dir_view(&new_view);
-        }
-        PutOutcome::Stale => {
-            // In atomic-transaction order a put is stale only for hidden
-            // owners (untracked + stash): the simulator's claim logic
-            // degenerates to "always unclaimed" here.
-            if st.view == View::Untracked && st.stash {
-                if req == Request::PutM {
-                    st.llc_fresh = was_fresh;
-                }
-                st.stash = false;
-            }
-        }
-    }
-    Some(st)
-}
-
-/// The directory evicts the block's entry.
-fn dir_evict(mut st: St, mode: Mode) -> Option<St> {
-    let view = st.view.to_dir_view();
-    if view == DirView::Untracked {
-        return None;
-    }
-    if mode.stash_dir && view.is_private() {
-        // The stash mechanism.
-        st.view = View::Untracked;
-        st.stash = true;
-        return Some(st);
-    }
-    for holder in view.holders() {
-        let p = if matches!(view, DirView::Exclusive(_)) {
-            Probe::Recall
-        } else {
-            Probe::Inv
-        };
-        apply_probe(&mut st, holder.index(), p);
-    }
-    st.view = View::Untracked;
-    Some(st)
-}
-
-/// The LLC evicts the line.
-fn llc_evict(mut st: St, mode: Mode) -> Option<St> {
-    if !st.llc_present {
-        return None;
-    }
-    let view = st.view.to_dir_view();
-    if view != DirView::Untracked {
-        for holder in view.holders() {
-            let p = if matches!(view, DirView::Exclusive(_)) {
-                Probe::Recall
-            } else {
-                Probe::Inv
-            };
-            apply_probe(&mut st, holder.index(), p);
-        }
-        st.view = View::Untracked;
-    } else if mode.stash_dir && st.stash {
-        for t in 0..N {
-            apply_probe(
-                &mut st,
-                t,
-                Probe::Discovery(stashdir_protocol::DiscoveryIntent::Invalidate),
-            );
-        }
-        st.stash = false;
-    }
-    // Writeback to memory.
-    st.dram_fresh = st.llc_fresh;
-    st.llc_present = false;
-    st.llc_fresh = false;
-    Some(st)
-}
-
-/// Structural invariants checked at every reachable state.
-fn check_state(st: &St, mode: Mode) {
-    // Single writer.
-    let exclusive: Vec<usize> = (0..N)
-        .filter(|&c| st.cores[c].state.is_exclusive())
-        .collect();
-    assert!(exclusive.len() <= 1, "multiple E/M holders: {st:?}");
-    if !exclusive.is_empty() {
-        assert_eq!(st.holders().len(), 1, "E/M alongside other copies: {st:?}");
-    }
-    // Coverage: every valid copy tracked or hidden. (With silent clean
-    // drops the view may list *more* cores, never fewer.)
-    for c in st.holders() {
-        let covered = match st.view {
-            View::Untracked => false,
-            View::Exclusive(o) => o == c,
-            View::Shared(mask) => mask & (1 << c) != 0,
-        };
-        assert!(
-            covered || (mode.stash_dir && st.stash),
-            "uncovered copy at core {c}: {st:?}"
-        );
-    }
-    // Tracked implies LLC-resident; stash bit implies resident + untracked.
-    if st.view != View::Untracked {
-        assert!(st.llc_present, "tracked but not LLC-resident: {st:?}");
-    }
-    if st.stash {
-        assert!(mode.stash_dir, "stash bit in sparse mode");
-        assert!(st.llc_present, "stash bit without LLC line: {st:?}");
-        assert_eq!(st.view, View::Untracked, "stash bit on tracked block");
-    }
-    // Fresh data is reachable.
-    let reachable = st.dram_fresh
-        || (st.llc_present && st.llc_fresh)
-        || (0..N).any(|c| st.cores[c].state != PrivState::Invalid && st.cores[c].fresh);
-    assert!(reachable, "lost write: {st:?}");
-    // Valid copies are fresh (atomic transactions invalidate stale copies
-    // synchronously).
-    if anyone_wrote(st) {
-        for c in st.holders() {
-            assert!(st.cores[c].fresh, "stale valid copy at core {c}: {st:?}");
-        }
-    }
-}
-
-fn explore(mode: Mode) -> usize {
-    let mut seen: HashSet<St> = HashSet::new();
-    let mut queue: VecDeque<St> = VecDeque::new();
-    seen.insert(St::initial());
-    queue.push_back(St::initial());
-    while let Some(st) = queue.pop_front() {
-        check_state(&st, mode);
-        let mut succs: Vec<St> = Vec::new();
-        for c in 0..N {
-            succs.push(demand(st, c, MemOpKind::Read, mode));
-            succs.push(demand(st, c, MemOpKind::Write, mode));
-            succs.extend(evict_l2(st, c, mode));
-        }
-        succs.extend(dir_evict(st, mode));
-        succs.extend(llc_evict(st, mode));
-        for succ in succs {
-            if seen.insert(succ) {
-                queue.push_back(succ);
-            }
-        }
-    }
-    seen.len()
-}
+use stashdir_protocol::reachability::{explore, reachable_transitions, Mode, ALL_MODES};
 
 #[test]
 fn exhaustive_stash_with_notification() {
     let states = explore(Mode {
         stash_dir: true,
         notify_clean: true,
-    });
+    })
+    .states;
     assert!(states > 25, "explored only {states} states");
 }
 
@@ -456,7 +23,8 @@ fn exhaustive_stash_silent_clean_drops() {
     let states = explore(Mode {
         stash_dir: true,
         notify_clean: false,
-    });
+    })
+    .states;
     assert!(states > 25, "explored only {states} states");
 }
 
@@ -465,7 +33,8 @@ fn exhaustive_sparse_with_notification() {
     let states = explore(Mode {
         stash_dir: false,
         notify_clean: true,
-    });
+    })
+    .states;
     assert!(states > 20, "explored only {states} states");
 }
 
@@ -474,6 +43,53 @@ fn exhaustive_sparse_silent_clean_drops() {
     let states = explore(Mode {
         stash_dir: false,
         notify_clean: false,
-    });
+    })
+    .states;
     assert!(states > 20, "explored only {states} states");
+}
+
+#[test]
+fn discovery_probes_reach_only_stash_modes() {
+    for mode in ALL_MODES {
+        let hit_discovery = explore(mode)
+            .transitions
+            .probe_pairs()
+            .any(|(_, p)| p.starts_with("Discovery"));
+        assert_eq!(
+            hit_discovery, mode.stash_dir,
+            "discovery reachability mismatch in {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn reachable_union_covers_core_transitions() {
+    let all = reachable_transitions();
+    let probes: Vec<_> = all.probe_pairs().collect();
+    // Every demand forward/invalidation against a live owner must be
+    // exercised, as must discovery against every hideable state.
+    for pair in [
+        ("Modified", "FwdGetS"),
+        ("Exclusive", "FwdGetM"),
+        ("Shared", "Inv"),
+        ("Modified", "Recall"),
+        ("Modified", "Discovery(Share)"),
+        ("Shared", "Discovery(Invalidate)"),
+        ("Invalid", "Discovery(Share)"),
+    ] {
+        assert!(probes.contains(&pair), "missing reachable probe {pair:?}");
+    }
+    let home: Vec<_> = all.home_pairs().collect();
+    for pair in [
+        ("GetS", "Untracked"),
+        ("GetM", "Exclusive"),
+        ("Upgrade", "Shared"),
+        ("PutS", "Shared"),
+        ("PutM", "Exclusive"),
+        ("PutM", "Untracked"),
+    ] {
+        assert!(home.contains(&pair), "missing reachable home pair {pair:?}");
+    }
+    // All eight local-access pairs are trivially reachable.
+    assert_eq!(all.local_pairs().count(), 8);
 }

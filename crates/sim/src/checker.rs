@@ -54,6 +54,7 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
 
     for (&block, holders) in &copies {
         let home = machine.home(block);
+        // lint: allow(indexing) — `home()` returns an in-range BankId.
         let bank = &machine.banks[home.index()];
         let view = bank.dir_view(block);
         let stash = bank.stash_bit(block);
@@ -70,12 +71,13 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
                 "I3: {block} has multiple exclusive holders: {exclusive_holders:?}"
             ));
         }
-        if !exclusive_holders.is_empty() && holders.len() > 1 {
-            problems.push(format!(
-                "I3: {block} has an exclusive copy at {} alongside {} other copies",
-                exclusive_holders[0],
-                holders.len() - 1
-            ));
+        if let Some(first) = exclusive_holders.first() {
+            if holders.len() > 1 {
+                problems.push(format!(
+                    "I3: {block} has an exclusive copy at {first} alongside {} other copies",
+                    holders.len() - 1
+                ));
+            }
         }
 
         // I4: LLC inclusion.
@@ -159,6 +161,7 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
             .map(|hs| hs.iter().any(|(_, _, v)| *v == latest))
             .unwrap_or(false);
         let in_wb = wb_versions.get(&block).copied().unwrap_or(0) == latest;
+        // lint: allow(indexing) — `home()` returns an in-range BankId.
         let in_llc = machine.banks[machine.home(block).index()]
             .llc_peek(block)
             .is_some_and(|l| l.version == latest);

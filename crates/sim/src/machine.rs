@@ -7,6 +7,10 @@
 //! which together with per-block busy windows at the home yields a
 //! serializable execution.
 
+// lint: allow-file(indexing) — cores/privs/banks are fixed-size vectors
+// indexed by CoreId/BankId produced by the config-bounded topology, so
+// the bounds hold by construction.
+
 use crate::bank::{Bank, LlcLine};
 use crate::config::SystemConfig;
 use crate::event::EventQueue;
@@ -137,7 +141,14 @@ impl Machine {
             discovery_latency: Histogram::new(),
             inv_round_size: Histogram::new(),
             timeline: Vec::new(),
-            next_sample: Cycle::ZERO,
+            // Timeline off → park the next sample at "never", so the hot
+            // loop pays a single always-false compare instead of checking
+            // the interval every event.
+            next_sample: if config.timeline_interval > 0 {
+                Cycle::ZERO
+            } else {
+                Cycle::MAX
+            },
             cfg: config,
         }
     }
@@ -182,7 +193,7 @@ impl Machine {
         while let Some((now, event)) = self.queue.pop() {
             debug_assert!(now >= last, "time went backwards");
             last = now;
-            if self.cfg.timeline_interval > 0 && now >= self.next_sample {
+            if now >= self.next_sample {
                 self.record_sample(now);
                 self.next_sample = now + self.cfg.timeline_interval;
             }
@@ -323,6 +334,7 @@ impl Machine {
                 if writeback {
                     let line = self.banks[bank_id.index()]
                         .llc_peek_mut(msg.block)
+                        // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                         .expect("LLC inclusion: tracked block resident");
                     line.version = msg.version;
                     line.dirty = true;
@@ -348,6 +360,7 @@ impl Machine {
                     if msg.req == Request::PutM {
                         let line = bank
                             .llc_peek_mut(msg.block)
+                            // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                             .expect("stash bit lives on a resident line");
                         line.version = msg.version;
                         line.dirty = true;
@@ -401,6 +414,7 @@ impl Machine {
                     if found.with_data && found.dirty {
                         let line = bank
                             .llc_peek_mut(block)
+                            // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                             .expect("stash bit lives on a resident line");
                         line.version = found.version;
                         line.dirty = true;
@@ -444,6 +458,7 @@ impl Machine {
                     // Owner's dirty data is written through to the LLC.
                     let line = self.banks[bank_id.index()]
                         .llc_peek_mut(block)
+                        // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                         .expect("LLC inclusion: tracked block resident");
                     line.version = ans.version;
                     line.dirty = true;
@@ -471,6 +486,7 @@ impl Machine {
             t_acks = t_acks.max(t_protocol);
             let version = self.banks[bank_id.index()]
                 .llc_access(block)
+                // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                 .expect("just ensured resident")
                 .version;
             if was_resident {
@@ -554,6 +570,7 @@ impl Machine {
         let op = self.cores[requester.index()]
             .pending
             .take()
+            // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
             .expect("demand completion matches a pending op");
         debug_assert_eq!(op.kind == MemOpKind::Write, req != Request::GetS);
 
@@ -640,6 +657,7 @@ impl Machine {
         let mut t_done = t;
         let mut line = *self.banks[bank_id.index()]
             .llc_peek(victim)
+            // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
             .expect("victim is resident");
         match &view {
             DirView::Untracked if line.stash => {
@@ -735,6 +753,7 @@ impl Machine {
                     if ans.reply == ProbeReply::AckDirtyData {
                         let line = self.banks[bank_id.index()]
                             .llc_peek_mut(block)
+                            // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                             .expect("LLC inclusion: tracked block resident");
                         line.version = ans.version;
                         line.dirty = true;

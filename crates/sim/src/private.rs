@@ -138,30 +138,31 @@ impl PrivateHier {
     /// send.
     pub fn access(&mut self, op: MemOp) -> AccessResult {
         let block = op.block;
-        // L1 first.
-        if let Some(&writable) = self.l1.get(block) {
-            let l2_state = self.l2.get(block).expect("L1 content ⊆ L2 content").state;
+        // L1 first. Inclusion (L1 content ⊆ L2 content) means the L2 line
+        // is readable up front; if it were somehow absent the L1 entry is
+        // stale, so treat that as an L1 miss and resolve below rather
+        // than panicking on the hot path.
+        if let (Some(&writable), Some(l2_line)) = (self.l1.get(block), self.l2.get(block).copied())
+        {
             match op.kind {
                 MemOpKind::Read => {
                     self.l1_stats.hits.incr();
                     self.l1.touch(block);
                     self.l2.touch(block);
-                    let version = self.l2.get(block).unwrap().version;
                     return AccessResult::Hit {
                         latency: self.l1_latency,
-                        version,
+                        version: l2_line.version,
                         in_l1: true,
                     };
                 }
                 MemOpKind::Write if writable => {
-                    debug_assert_eq!(l2_state, PrivState::Modified);
+                    debug_assert_eq!(l2_line.state, PrivState::Modified);
                     self.l1_stats.hits.incr();
                     self.l1.touch(block);
                     self.l2.touch(block);
-                    let version = self.l2.get(block).unwrap().version;
                     return AccessResult::Hit {
                         latency: self.l1_latency,
-                        version,
+                        version: l2_line.version,
                         in_l1: true,
                     };
                 }
@@ -172,6 +173,7 @@ impl PrivateHier {
                 }
             }
         } else {
+            debug_assert!(self.l1.get(block).is_none(), "L1 content ⊄ L2 content");
             self.l1_stats.misses.incr();
         }
 
@@ -190,7 +192,13 @@ impl PrivateHier {
         match local_access(line.state, op.kind) {
             AccessOutcome::Hit(next) => {
                 self.l2_stats.hits.incr();
-                self.l2.access_mut(block).unwrap().state = next;
+                // The line was just read from L2, so the mutable lookup
+                // cannot miss; skip the write rather than panic if it
+                // ever did.
+                debug_assert!(self.l2.get(block).is_some());
+                if let Some(l) = self.l2.access_mut(block) {
+                    l.state = next;
+                }
                 self.refresh_l1(block, next);
                 AccessResult::Hit {
                     latency: self.l1_latency + self.l2_latency,
@@ -293,6 +301,7 @@ impl PrivateHier {
         let line = self
             .l2
             .access_mut(block)
+            // lint: allow(expect) — documented panic contract (doc comment).
             .expect("data-less grant targets a live copy");
         line.state = PrivState::Modified;
         let version = line.version;
@@ -306,6 +315,7 @@ impl PrivateHier {
     ///
     /// Panics if the block is absent or not writable.
     pub fn record_write(&mut self, block: BlockAddr, version: u64) {
+        // lint: allow(expect) — documented panic contract (doc comment).
         let line = self.l2.get_mut(block).expect("write target present");
         assert_eq!(line.state, PrivState::Modified, "write without ownership");
         line.version = version;
@@ -321,7 +331,12 @@ impl PrivateHier {
                 self.l1.remove(block);
                 self.l2_stats.coherence_invalidations.incr();
             } else if effect.next != line.state {
-                self.l2.get_mut(block).unwrap().state = effect.next;
+                // Just read from L2; a miss here is unreachable, so skip
+                // the write instead of panicking.
+                debug_assert!(self.l2.get(block).is_some());
+                if let Some(l) = self.l2.get_mut(block) {
+                    l.state = effect.next;
+                }
                 if self.l1.contains(block) {
                     self.refresh_l1(block, effect.next);
                 }
