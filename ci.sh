@@ -19,6 +19,17 @@ cargo clippy --workspace --offline -- -D warnings
 echo "== stashdir-lint"
 cargo run -q -p stashdir-lint --offline -- --root .
 
+# Chaos smoke (E17): one injected fault per taxonomy class on a small
+# grid; the run fails unless every class is caught by its expected
+# detector (invariant checker or liveness watchdog) — the end-to-end
+# mutation gate for the fault-injection layer.
+echo "== chaos smoke (E17)"
+chaos_out=$(cargo run -q -p stashdir-harness --offline --bin sweep -- \
+  --plan chaos_smoke --run ci_chaos --ops 400 --no-progress)
+echo "$chaos_out" | grep -qF \
+  "chaos gate: 7/7 fault classes caught by their expected detector — PASS" \
+  || { echo "chaos smoke FAILED:"; echo "$chaos_out"; exit 1; }
+
 echo "== cargo test -q --offline"
 cargo test -q --workspace --offline
 

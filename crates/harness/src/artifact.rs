@@ -9,7 +9,7 @@
 
 use stashdir::common::json::Value;
 use stashdir::sim::report::TimelineSample;
-use stashdir::{SimReport, StatSink};
+use stashdir::{FaultSummary, SimReport, StatSink};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -30,13 +30,23 @@ pub fn report_to_json(report: &SimReport) -> Value {
             .map(|v| Value::from(v.as_str()))
             .collect(),
     );
-    Value::object(vec![
+    let mut fields = vec![
         ("cycles".into(), Value::from(report.cycles)),
         ("completed_ops".into(), Value::from(report.completed_ops)),
         ("violations".into(), violations),
         ("stats".into(), sink),
         ("timeline".into(), timeline),
-    ])
+    ];
+    // Fault counters and the diagnostic snapshot appear only on runs
+    // that actually injected or detected something, so fault-free
+    // artifacts stay byte-identical to historical ones.
+    if report.fault != FaultSummary::default() {
+        fields.push(("fault".into(), fault_to_json(&report.fault)));
+    }
+    if let Some(snapshot) = &report.snapshot {
+        fields.push(("snapshot".into(), Value::from(snapshot.as_str())));
+    }
+    Value::object(fields)
 }
 
 /// Rebuilds a report from its canonical JSON tree.
@@ -63,12 +73,78 @@ pub fn report_from_json(value: &Value) -> Option<SimReport> {
         .iter()
         .map(sample_from_json)
         .collect::<Option<Vec<_>>>()?;
+    let fault = match value.get("fault") {
+        Some(v) => fault_from_json(v)?,
+        None => FaultSummary::default(),
+    };
+    let snapshot = value
+        .get("snapshot")
+        .and_then(Value::as_str)
+        .map(str::to_string);
     Some(SimReport {
         cycles,
         completed_ops,
         violations,
         sink,
         timeline,
+        fault,
+        snapshot,
+    })
+}
+
+/// Serializes the fault/detection counters.
+pub fn fault_to_json(f: &FaultSummary) -> Value {
+    Value::object(vec![
+        (
+            "injected_noc_delay".into(),
+            Value::from(f.injected_noc_delay),
+        ),
+        (
+            "injected_noc_duplicate".into(),
+            Value::from(f.injected_noc_duplicate),
+        ),
+        (
+            "injected_sharer_flip".into(),
+            Value::from(f.injected_sharer_flip),
+        ),
+        (
+            "injected_stash_clear".into(),
+            Value::from(f.injected_stash_clear),
+        ),
+        (
+            "injected_stash_spurious".into(),
+            Value::from(f.injected_stash_spurious),
+        ),
+        (
+            "injected_drop_grant".into(),
+            Value::from(f.injected_drop_grant),
+        ),
+        (
+            "injected_stuck_transient".into(),
+            Value::from(f.injected_stuck_transient),
+        ),
+        (
+            "detected_invariant".into(),
+            Value::from(f.detected_invariant),
+        ),
+        ("detected_watchdog".into(), Value::from(f.detected_watchdog)),
+        ("quiesced".into(), Value::from(f.quiesced)),
+    ])
+}
+
+/// Rebuilds the fault/detection counters.
+pub fn fault_from_json(value: &Value) -> Option<FaultSummary> {
+    Some(FaultSummary {
+        injected_noc_delay: value.get("injected_noc_delay")?.as_u64()?,
+        injected_noc_duplicate: value.get("injected_noc_duplicate")?.as_u64()?,
+        injected_sharer_flip: value.get("injected_sharer_flip")?.as_u64()?,
+        injected_stash_clear: value.get("injected_stash_clear")?.as_u64()?,
+        injected_stash_spurious: value.get("injected_stash_spurious")?.as_u64()?,
+        injected_drop_grant: value.get("injected_drop_grant")?.as_u64()?,
+        injected_stuck_transient: value.get("injected_stuck_transient")?.as_u64()?,
+        detected_invariant: value.get("detected_invariant")?.as_u64()?,
+        detected_watchdog: value.get("detected_watchdog")?.as_u64()?,
+        quiesced: value.get("quiesced")?.as_u64()?,
     })
 }
 
@@ -136,7 +212,6 @@ pub fn save_report_styled(
     style: ArtifactStyle,
 ) -> io::Result<PathBuf> {
     let path = case_path(run_dir, case_id);
-    std::fs::create_dir_all(path.parent().expect("case path has parent"))?;
     let value = report_to_json(report);
     let text = match style {
         ArtifactStyle::Pretty => value.render_pretty(),
@@ -146,27 +221,36 @@ pub fn save_report_styled(
             t
         }
     };
-    std::fs::write(&path, text)?;
+    crate::fsio::write_atomic(&path, &text)?;
     Ok(path)
 }
 
-/// Loads a case's report artifact.
+/// Loads a case's report artifact. A present-but-corrupt artifact
+/// (truncated or malformed) is quarantined as `<case>.json.corrupt` so a
+/// resume fsck re-runs the case instead of trusting or tripping on it.
 ///
 /// # Errors
 ///
 /// Returns an I/O error when the file is missing or unreadable, or an
-/// `InvalidData` error when it does not parse back into a report.
+/// `InvalidData` error when it does not parse back into a report (the
+/// file has then been moved to quarantine).
 pub fn load_report(run_dir: &Path, case_id: &str) -> io::Result<SimReport> {
     let path = case_path(run_dir, case_id);
     let text = std::fs::read_to_string(&path)?;
-    let value = Value::parse(&text)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    report_from_json(&value).ok_or_else(|| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("malformed report artifact {}", path.display()),
-        )
-    })
+    let parsed = Value::parse(&text).ok().and_then(|v| report_from_json(&v));
+    match parsed {
+        Some(report) => Ok(report),
+        None => {
+            let _ = crate::fsio::quarantine(&path);
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "malformed report artifact {} (quarantined as .corrupt)",
+                    path.display()
+                ),
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +274,8 @@ mod tests {
                 invalidating_evictions: 3,
                 discoveries: 7,
             }],
+            fault: FaultSummary::default(),
+            snapshot: None,
         }
     }
 
@@ -223,6 +309,40 @@ mod tests {
         let back = load_report(&dir, "case-x").unwrap();
         assert_eq!(back.sink, r.sink);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_artifact_is_quarantined_on_load() {
+        let dir = std::env::temp_dir().join(format!("stashdir_artifact_q_{}", std::process::id()));
+        let r = sample_report();
+        let path = save_report(&dir, "case-t", &r).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_report(&dir, "case-t").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!path.exists(), "corrupt artifact must be moved aside");
+        assert!(path.with_file_name("case-t.json.corrupt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_report_round_trips_with_counters_and_snapshot() {
+        let mut r = sample_report();
+        r.fault.injected_sharer_flip = 1;
+        r.fault.detected_invariant = 2;
+        r.fault.quiesced = 1;
+        r.snapshot = Some("{\"schema\": \"stashdir/diag-snapshot/v1\"}".to_string());
+        let back =
+            report_from_json(&Value::parse(&report_to_json(&r).render_pretty()).unwrap()).unwrap();
+        assert_eq!(back.fault, r.fault);
+        assert_eq!(back.snapshot, r.snapshot);
+    }
+
+    #[test]
+    fn fault_free_artifacts_carry_no_fault_keys() {
+        let text = report_to_json(&sample_report()).render_pretty();
+        assert!(!text.contains("\"fault\""));
+        assert!(!text.contains("\"snapshot\""));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The experiment registry: every table and figure of the reproduction
-//! (E1–E14) expressed as *data* — a function contributing simulation
+//! (E1–E14 plus the E17 chaos smoke) expressed as *data* — a function contributing simulation
 //! cases to a run, and a function assembling the table back out of the
 //! shared result set.
 //!
@@ -14,8 +14,8 @@ use crate::params::{geomean, machine_with, Params};
 use crate::plan::CaseSpec;
 use crate::table::{f2, f3, n0, Table};
 use stashdir::{
-    Characterization, CostParams, CoverageRatio, DirReplPolicy, DirSpec, EnergyCounts, EnergyModel,
-    SimReport, SystemConfig, Workload,
+    expected_detector, Characterization, CostParams, CoverageRatio, DirReplPolicy, DirSpec,
+    EnergyCounts, EnergyModel, FaultClass, FaultConfig, SimReport, SystemConfig, Workload,
 };
 use std::collections::HashMap;
 
@@ -73,7 +73,8 @@ impl Experiment {
     }
 }
 
-/// All experiments, in suite (E1..E14) order.
+/// All experiments, in suite order (E1..E14, then the E17 chaos smoke;
+/// E15/E16 are standalone bench binaries).
 pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
@@ -187,6 +188,14 @@ pub fn registry() -> Vec<Experiment> {
             summary: "clean-eviction notification ablation",
             cases_fn: e14_cases,
             assemble_fn: e14_assemble,
+        },
+        Experiment {
+            key: "chaos_smoke",
+            code: "E17",
+            csv: "e17_chaos_smoke",
+            summary: "fault-injection smoke: every fault class vs its detector",
+            cases_fn: e17_cases,
+            assemble_fn: e17_assemble,
         },
     ]
 }
@@ -938,6 +947,83 @@ fn e14_assemble(p: Params, results: &ResultSet) -> Assembled {
     Assembled { table, note: None }
 }
 
+// ---------------------------------------------------------------- E17
+
+/// Chaos-smoke params: a capped op count keeps the gate fast even when
+/// the suite runs at full scale — a few hundred ops is plenty to build
+/// the directory state every fault class needs a victim in.
+fn e17_params(p: Params) -> Params {
+    Params {
+        ops: p.ops.min(400),
+        seed: p.seed,
+    }
+}
+
+/// One chaos case: a small machine with a deliberately tight (2-way)
+/// stash directory, so eviction pressure silently evicts private lines
+/// and sets stash bits — the precondition `stash_clear` needs a victim
+/// for. Every class runs the same machine/workload; only the injected
+/// fault differs, so any table row that goes undetected is attributable
+/// to the detector, not the configuration.
+fn e17_case(class: FaultClass, p: Params) -> CaseSpec {
+    let p = e17_params(p);
+    let dir = DirSpec::Stash {
+        coverage: eighth(),
+        assoc: 2,
+        repl: DirReplPolicy::PrivateFirstLru,
+    };
+    CaseSpec::new(
+        SystemConfig::default().with_cores(8).with_dir(dir),
+        Workload::DataParallel,
+        p.ops,
+        p.seed,
+    )
+    .with_fault(FaultConfig::for_class(class, p.seed))
+}
+
+fn e17_cases(p: Params) -> Vec<CaseSpec> {
+    FaultClass::ALL.iter().map(|&c| e17_case(c, p)).collect()
+}
+
+fn e17_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E17 — chaos smoke: one injected fault per class, detection accounting",
+        &[
+            "fault_class",
+            "injected",
+            "expected_detector",
+            "detected_invariant",
+            "detected_watchdog",
+            "quiesced",
+            "caught",
+        ],
+    );
+    let mut caught = 0usize;
+    for &class in FaultClass::ALL {
+        let f = report(results, &e17_case(class, p)).fault;
+        let expected = expected_detector(class);
+        let hit = f.injected_for(class) > 0 && f.detected_for(expected) > 0;
+        caught += usize::from(hit);
+        table.row(vec![
+            class.label().to_string(),
+            n0(f.injected_for(class) as f64),
+            expected.label().to_string(),
+            n0(f.detected_invariant as f64),
+            n0(f.detected_watchdog as f64),
+            n0(f.quiesced as f64),
+            if hit { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let total = FaultClass::ALL.len();
+    let verdict = if caught == total { "PASS" } else { "FAIL" };
+    Assembled {
+        table,
+        note: Some(format!(
+            "chaos gate: {caught}/{total} fault classes caught by their expected detector — {verdict}"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -949,15 +1035,15 @@ mod tests {
     #[test]
     fn registry_keys_and_csvs_are_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 14);
+        assert_eq!(reg.len(), 15);
         let mut keys: Vec<_> = reg.iter().map(|e| e.key).collect();
         keys.sort_unstable();
         keys.dedup();
-        assert_eq!(keys.len(), 14, "duplicate experiment key");
+        assert_eq!(keys.len(), 15, "duplicate experiment key");
         let mut csvs: Vec<_> = reg.iter().map(|e| e.csv).collect();
         csvs.sort_unstable();
         csvs.dedup();
-        assert_eq!(csvs.len(), 14, "duplicate csv stem");
+        assert_eq!(csvs.len(), 15, "duplicate csv stem");
     }
 
     #[test]
@@ -995,6 +1081,31 @@ mod tests {
             union.len() < total,
             "expected cross-experiment case sharing ({} unique of {total})",
             union.len()
+        );
+    }
+
+    /// The mutation gate: run the actual E17 grid and require every
+    /// fault class to be injected *and* caught by its expected detector.
+    /// A checker or watchdog regression that silently stops seeing a
+    /// fault class fails here, not in production chaos runs.
+    #[test]
+    fn chaos_smoke_gate_detects_every_fault_class() {
+        let p = Params { ops: 400, seed: 7 };
+        let exp = find("chaos_smoke").unwrap();
+        let cases = exp.cases(p);
+        assert_eq!(cases.len(), stashdir::FaultClass::ALL.len());
+        let outcomes = crate::pool::run_cases(&cases, &crate::pool::RunOptions::default());
+        let results: ResultSet = outcomes
+            .into_iter()
+            .filter_map(|o| o.report.map(|r| (o.spec.id(), r)))
+            .collect();
+        assert_eq!(results.len(), cases.len(), "every chaos case must complete");
+        let a = exp.assemble(p, &results);
+        let note = a.note.expect("chaos smoke always carries a verdict");
+        assert!(
+            note.contains("7/7") && note.ends_with("PASS"),
+            "{note}\n{}",
+            a.table.render()
         );
     }
 

@@ -1,0 +1,122 @@
+//! Durable-write discipline for run artifacts: atomic writes via
+//! write-to-temp + rename, and quarantine of corrupt files.
+//!
+//! A sweep killed mid-`fs::write` (power loss, OOM kill, ctrl-C at the
+//! wrong instant) leaves a truncated manifest or case artifact; a later
+//! `--resume` must neither trust it nor die on it. Writers here never
+//! expose a partial file under the final name, and readers that find
+//! garbage can set it aside (`<name>.corrupt`) so the case re-runs and
+//! the evidence survives for inspection.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes `text` to `path` atomically: the bytes land in a sibling
+/// temporary file first and are renamed over `path` only once fully
+/// written, so a crash mid-write can never leave a truncated file under
+/// the final name. Creates parent directories as needed.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error; the temporary file is removed on a
+/// failed rename.
+pub fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let parent = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no parent directory for {}", path.display()),
+            )
+        })?;
+    std::fs::create_dir_all(parent)?;
+    let tmp = temp_sibling(path);
+    std::fs::write(&tmp, text)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The temporary sibling name for an atomic write of `path`; includes
+/// the pid so concurrent writers in different processes cannot collide.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    name.push_str(&format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Sets a corrupt file aside as `<name>.corrupt` next to the original
+/// (overwriting any previous quarantine of the same file) and returns
+/// the quarantine path. The original no longer exists afterwards, so a
+/// resume fsck that quarantines a truncated manifest or artifact will
+/// re-run the affected cases.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    name.push_str(".corrupt");
+    let target = path.with_file_name(name);
+    std::fs::rename(path, &target)?;
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stashdir_fsio_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_creates_parents_and_leaves_no_temp() {
+        let dir = scratch("basic");
+        let path = dir.join("nested/deeper/file.json");
+        write_atomic(&path, "{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file must not survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_content() {
+        let dir = scratch("replace");
+        let path = dir.join("file.json");
+        write_atomic(&path, "old").unwrap();
+        write_atomic(&path, "new").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_renames_and_removes_original() {
+        let dir = scratch("quarantine");
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, "{\"trunca").unwrap();
+        let q = quarantine(&path).unwrap();
+        assert!(q.ends_with("manifest.json.corrupt"));
+        assert!(!path.exists());
+        assert_eq!(std::fs::read_to_string(&q).unwrap(), "{\"trunca");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

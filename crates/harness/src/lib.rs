@@ -35,6 +35,7 @@
 pub mod artifact;
 pub mod digest;
 pub mod experiments;
+pub mod fsio;
 pub mod manifest;
 pub mod params;
 pub mod plan;

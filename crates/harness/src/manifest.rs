@@ -27,6 +27,9 @@ pub struct CaseRecord {
     pub status: CaseStatus,
     /// Simulation wall time in milliseconds.
     pub duration_ms: u64,
+    /// Attempts made this invocation (`0` = skipped or resumed; more
+    /// than 1 means the retry loop re-ran a flaky failure).
+    pub attempts: u32,
     /// Captured error for failed cases.
     pub error: Option<String>,
 }
@@ -89,6 +92,7 @@ impl RunManifest {
                     digest: digest::hex(o.spec.digest()),
                     status: o.status,
                     duration_ms: o.duration.as_millis() as u64,
+                    attempts: o.attempts,
                     error: o.error.clone(),
                 })
                 .collect(),
@@ -106,6 +110,7 @@ impl RunManifest {
                     ("digest".to_string(), Value::from(c.digest.as_str())),
                     ("status".to_string(), Value::from(c.status.as_str())),
                     ("duration_ms".to_string(), Value::from(c.duration_ms)),
+                    ("attempts".to_string(), Value::from(c.attempts as u64)),
                 ];
                 if let Some(e) = &c.error {
                     fields.push(("error".to_string(), Value::from(e.as_str())));
@@ -150,6 +155,9 @@ impl RunManifest {
                     digest: c.get("digest")?.as_str()?.to_string(),
                     status: CaseStatus::parse(c.get("status")?.as_str()?)?,
                     duration_ms: c.get("duration_ms")?.as_u64()?,
+                    // Absent in manifests written before attempts were
+                    // recorded; one attempt is the only possibility there.
+                    attempts: c.get("attempts").and_then(Value::as_u64).unwrap_or(1) as u32,
                     error: c.get("error").and_then(Value::as_str).map(str::to_string),
                 })
             })
@@ -178,22 +186,30 @@ impl RunManifest {
         run_dir.join("manifest.json")
     }
 
-    /// Writes the manifest (pretty-printed) into `run_dir`.
+    /// Writes the manifest (pretty-printed) into `run_dir`, atomically:
+    /// a crash mid-write can never leave a truncated `manifest.json`.
     ///
     /// # Errors
     ///
     /// Returns any underlying I/O error.
     pub fn save(&self, run_dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(run_dir)?;
-        std::fs::write(Self::path(run_dir), self.to_json().render_pretty())
+        crate::fsio::write_atomic(&Self::path(run_dir), &self.to_json().render_pretty())
     }
 
     /// Loads the manifest from `run_dir`, or `None` when absent or
-    /// unreadable (a corrupt manifest means "no resume data", not an
-    /// error — the sweep just re-runs everything).
+    /// unreadable. A present-but-corrupt manifest (truncated by a crash
+    /// predating atomic writes, or damaged on disk) is quarantined as
+    /// `manifest.json.corrupt` so the evidence survives — the sweep just
+    /// re-runs everything.
     pub fn load(run_dir: &Path) -> Option<Self> {
-        let text = std::fs::read_to_string(Self::path(run_dir)).ok()?;
-        Self::from_json(&Value::parse(&text).ok()?)
+        let path = Self::path(run_dir);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let parsed = Value::parse(&text).ok().and_then(|v| Self::from_json(&v));
+        if parsed.is_none() {
+            let _ = crate::fsio::quarantine(&path);
+        }
+        parsed
     }
 
     /// The record for a case id, if present.
@@ -221,6 +237,7 @@ mod tests {
             spec: CaseSpec::new(SystemConfig::default(), Workload::Uniform, 10, seed),
             status,
             duration: Duration::from_millis(40),
+            attempts: 1,
             report: None,
             error: (status == CaseStatus::Failed).then(|| "boom".to_string()),
         }
@@ -284,5 +301,19 @@ mod tests {
     #[test]
     fn load_missing_is_none() {
         assert!(RunManifest::load(Path::new("/nonexistent/run")).is_none());
+    }
+
+    #[test]
+    fn truncated_manifest_is_quarantined_on_load() {
+        let dir = std::env::temp_dir().join(format!("stashdir_manifest_q_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = RunManifest::path(&dir);
+        // A manifest cut off mid-write (the pre-atomic-write failure mode).
+        std::fs::write(&path, "{\"run\": \"t\", \"cases\": [{\"id\": \"x").unwrap();
+        assert!(RunManifest::load(&dir).is_none());
+        assert!(!path.exists(), "corrupt manifest must be moved aside");
+        let q = dir.join("manifest.json.corrupt");
+        assert!(q.exists(), "evidence must survive in quarantine");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -2,7 +2,7 @@
 //! into independent, identity-carrying simulation cases.
 
 use crate::digest;
-use stashdir::{DirSpec, SystemConfig, Workload};
+use stashdir::{DirSpec, FaultConfig, SystemConfig, Workload};
 
 /// One independent simulation: a full machine configuration plus the
 /// workload, op count and seed that drive it.
@@ -21,35 +21,48 @@ pub struct CaseSpec {
     pub ops: usize,
     /// Workload generator seed.
     pub seed: u64,
+    /// Optional fault-injection config (the chaos suite). Fault-free
+    /// cases carry `None` and keep their historical digests/ids.
+    pub fault: Option<FaultConfig>,
 }
 
 impl CaseSpec {
-    /// Builds a spec.
+    /// Builds a (fault-free) spec.
     pub fn new(config: SystemConfig, workload: Workload, ops: usize, seed: u64) -> Self {
         CaseSpec {
             config,
             workload,
             ops,
             seed,
+            fault: None,
         }
+    }
+
+    /// Threads a fault-injection config into the case.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// The 64-bit digest of everything that determines this case's
     /// result: the full machine configuration (via its stable debug
-    /// rendering) plus workload, op count and seed.
+    /// rendering) plus workload, op count and seed — and the fault
+    /// config when one is threaded (fault-free digests are unchanged,
+    /// keeping prior manifests resume-compatible).
     pub fn digest(&self) -> u64 {
-        digest::fnv1a(
-            format!(
-                "{:?}|{:?}|{}|{}",
-                self.config, self.workload, self.ops, self.seed
-            )
-            .as_bytes(),
-        )
+        let mut rendered = format!(
+            "{:?}|{:?}|{}|{}",
+            self.config, self.workload, self.ops, self.seed
+        );
+        if let Some(fault) = &self.fault {
+            rendered.push_str(&format!("|{fault:?}"));
+        }
+        digest::fnv1a(rendered.as_bytes())
     }
 
     /// A unique, filesystem-safe identity: human-readable prefix
-    /// (directory, cores, workload, ops, seed) plus a digest suffix
-    /// covering every remaining config knob.
+    /// (directory, cores, workload, ops, seed, fault class if any) plus
+    /// a digest suffix covering every remaining config knob.
     pub fn id(&self) -> String {
         let dir = self
             .config
@@ -57,8 +70,14 @@ impl CaseSpec {
             .to_string()
             .replace('/', "_")
             .replace('@', "-");
+        let fault = self
+            .fault
+            .as_ref()
+            .and_then(|f| f.class)
+            .map(|c| format!("-f{}", c.label()))
+            .unwrap_or_default();
         format!(
-            "{dir}-c{}-{}-o{}-s{}-{}",
+            "{dir}-c{}-{}-o{}-s{}{fault}-{}",
             self.config.cores,
             self.workload.name(),
             self.ops,

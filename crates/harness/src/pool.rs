@@ -33,9 +33,26 @@ pub struct RunOptions {
     pub jobs: usize,
     /// Cancel remaining cases after the first failure.
     pub fail_fast: bool,
+    /// Per-case wall-clock budget. When set, each case runs on its own
+    /// thread; a case that outlives the budget is recorded
+    /// [`CaseStatus::TimedOut`] and abandoned (the worker moves on).
+    pub timeout: Option<Duration>,
+    /// Extra attempts for a failed or timed-out case (flaky-failure
+    /// discipline; `0` = single attempt).
+    pub retries: u32,
+    /// Base backoff between attempts; attempt `n` sleeps `backoff * n`
+    /// before re-running.
+    pub backoff: Duration,
     /// Test hook: panic inside any case whose id contains this substring
     /// (exercises the panic-isolation path end to end).
     pub inject_panic: Option<String>,
+    /// Test hook: panic on the *first* attempt only of any case whose id
+    /// contains this substring (exercises the retry path end to end).
+    pub inject_flaky: Option<String>,
+    /// Test hook: hang forever inside any case whose id contains this
+    /// substring (exercises the timeout watchdog end to end; only
+    /// meaningful with `timeout` set).
+    pub inject_hang: Option<String>,
     /// Print a live progress line to stderr.
     pub progress: bool,
 }
@@ -60,6 +77,8 @@ pub enum CaseStatus {
     Completed,
     /// Panicked (coherence violation, model bug, injected fault).
     Failed,
+    /// Outlived the per-case wall-clock budget and was abandoned.
+    TimedOut,
     /// Not run: cancelled by fail-fast, or satisfied by a resume artifact.
     Skipped,
 }
@@ -70,6 +89,7 @@ impl CaseStatus {
         match self {
             CaseStatus::Completed => "completed",
             CaseStatus::Failed => "failed",
+            CaseStatus::TimedOut => "timed_out",
             CaseStatus::Skipped => "skipped",
         }
     }
@@ -79,9 +99,15 @@ impl CaseStatus {
         match s {
             "completed" => Some(CaseStatus::Completed),
             "failed" => Some(CaseStatus::Failed),
+            "timed_out" => Some(CaseStatus::TimedOut),
             "skipped" => Some(CaseStatus::Skipped),
             _ => None,
         }
+    }
+
+    /// `true` for the statuses the retry loop re-runs.
+    pub fn retryable(self) -> bool {
+        matches!(self, CaseStatus::Failed | CaseStatus::TimedOut)
     }
 }
 
@@ -94,6 +120,9 @@ pub struct CaseOutcome {
     pub status: CaseStatus,
     /// Wall-clock time spent simulating (zero for skipped cases).
     pub duration: Duration,
+    /// Attempts actually made (`0` for skipped cases, `1` normally,
+    /// more when the retry loop re-ran a flaky failure).
+    pub attempts: u32,
     /// The report, when completed.
     pub report: Option<SimReport>,
     /// The captured panic message, when failed.
@@ -129,27 +158,171 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs one case, catching panics.
+/// Fault hooks threaded into each attempt (test-only behaviors).
+#[derive(Debug, Clone, Default)]
+struct Hooks {
+    panic: Option<String>,
+    flaky: Option<String>,
+    hang: Option<String>,
+}
+
+impl Hooks {
+    fn from_options(opts: &RunOptions) -> Hooks {
+        Hooks {
+            panic: opts.inject_panic.clone(),
+            flaky: opts.inject_flaky.clone(),
+            hang: opts.inject_hang.clone(),
+        }
+    }
+
+    fn matches(needle: &Option<String>, id: &str) -> bool {
+        needle.as_deref().is_some_and(|n| id.contains(n))
+    }
+}
+
+/// Runs one case, catching panics. `attempt_no` is 1-based.
 fn attempt(
     spec: &CaseSpec,
-    inject_panic: Option<&str>,
+    hooks: &Hooks,
+    attempt_no: u32,
 ) -> (CaseStatus, Option<SimReport>, Option<String>) {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        if let Some(needle) = inject_panic {
-            if spec.id().contains(needle) {
-                panic!("injected fault for case {}", spec.id());
+        let id = spec.id();
+        if Hooks::matches(&hooks.panic, &id) {
+            panic!("injected fault for case {id}");
+        }
+        if attempt_no == 1 && Hooks::matches(&hooks.flaky, &id) {
+            panic!("injected flaky fault for case {id} (attempt 1)");
+        }
+        if Hooks::matches(&hooks.hang, &id) {
+            // Never returns; the timeout watchdog abandons this thread.
+            loop {
+                std::thread::sleep(Duration::from_millis(25));
             }
         }
         let traces = spec
             .workload
             .generate(spec.config.cores, spec.ops, spec.seed);
-        let report = Machine::new(spec.config.clone()).run(traces);
-        report.assert_clean();
+        let mut machine = Machine::new(spec.config.clone());
+        if let Some(fault) = spec.fault {
+            machine = machine.with_faults(fault);
+        }
+        let report = machine.run(traces);
+        if spec.fault.is_none() {
+            report.assert_clean();
+        }
         report
     }));
     match result {
         Ok(report) => (CaseStatus::Completed, Some(report), None),
         Err(payload) => (CaseStatus::Failed, None, Some(panic_message(payload))),
+    }
+}
+
+/// One attempt's resolution at the worker, including the two ways an
+/// attempt ends without a verdict from the simulator itself.
+enum AttemptEnd {
+    Done(CaseStatus, Option<Box<SimReport>>, Option<String>),
+    /// Fail-fast fired while the case was still running; the case thread
+    /// is abandoned and the case recorded as skipped.
+    Cancelled,
+}
+
+/// Runs one attempt, optionally under the wall-clock watchdog.
+///
+/// Without a timeout the attempt runs inline on the worker. With one,
+/// the case runs on a dedicated (detached) thread while the worker polls
+/// for the result in short slices, so it can both enforce the deadline
+/// and notice a fail-fast cancellation promptly; on either, the case
+/// thread is abandoned — it holds only clones and its late result goes
+/// to a closed channel.
+fn run_attempt(
+    spec: &CaseSpec,
+    hooks: &Hooks,
+    attempt_no: u32,
+    timeout: Option<Duration>,
+    cancel: &AtomicBool,
+    fail_fast: bool,
+) -> AttemptEnd {
+    let Some(budget) = timeout else {
+        let (s, r, e) = attempt(spec, hooks, attempt_no);
+        return AttemptEnd::Done(s, r.map(Box::new), e);
+    };
+    let (tx, rx) = mpsc::channel();
+    let spec_owned = spec.clone();
+    let hooks_owned = hooks.clone();
+    std::thread::Builder::new()
+        .name(format!("{WORKER_NAME_PREFIX}case"))
+        .spawn(move || {
+            let _ = tx.send(attempt(&spec_owned, &hooks_owned, attempt_no));
+        })
+        .expect("spawn case thread");
+    let deadline = Instant::now() + budget;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let slice = remaining.min(Duration::from_millis(25));
+        match rx.recv_timeout(slice.max(Duration::from_millis(1))) {
+            Ok((s, r, e)) => return AttemptEnd::Done(s, r.map(Box::new), e),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if fail_fast && cancel.load(Ordering::Relaxed) {
+                    return AttemptEnd::Cancelled;
+                }
+                if Instant::now() >= deadline {
+                    return AttemptEnd::Done(
+                        CaseStatus::TimedOut,
+                        None,
+                        Some(format!("timed out after {budget:?}")),
+                    );
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The case thread died without sending (should be
+                // impossible: attempt() catches panics). Treat as failed.
+                return AttemptEnd::Done(
+                    CaseStatus::Failed,
+                    None,
+                    Some("case thread died without a result".into()),
+                );
+            }
+        }
+    }
+}
+
+/// Runs one case under the retry loop: attempts until a non-retryable
+/// status, the attempt budget is exhausted, or fail-fast cancels.
+/// Returns the final `(status, report, error, attempts)`.
+fn run_with_retries(
+    spec: &CaseSpec,
+    hooks: &Hooks,
+    opts_timeout: Option<Duration>,
+    retries: u32,
+    backoff: Duration,
+    cancel: &AtomicBool,
+    fail_fast: bool,
+) -> (CaseStatus, Option<SimReport>, Option<String>, u32) {
+    let max_attempts = retries.saturating_add(1);
+    let mut attempt_no = 0u32;
+    loop {
+        attempt_no += 1;
+        match run_attempt(spec, hooks, attempt_no, opts_timeout, cancel, fail_fast) {
+            AttemptEnd::Cancelled => {
+                return (
+                    CaseStatus::Skipped,
+                    None,
+                    Some("cancelled by fail-fast".into()),
+                    attempt_no,
+                );
+            }
+            AttemptEnd::Done(status, report, error) => {
+                let may_retry = status.retryable()
+                    && attempt_no < max_attempts
+                    && !cancel.load(Ordering::Relaxed);
+                if !may_retry {
+                    return (status, report.map(|r| *r), error, attempt_no);
+                }
+                std::thread::sleep(backoff.saturating_mul(attempt_no));
+            }
+        }
     }
 }
 
@@ -178,6 +351,7 @@ pub fn run_cases(specs: &[CaseSpec], opts: &RunOptions) -> Vec<CaseOutcome> {
         Option<SimReport>,
         Option<String>,
         Duration,
+        u32,
     )>();
 
     let mut progress = opts.progress.then(|| Progress::new(specs.len(), jobs));
@@ -190,8 +364,11 @@ pub fn run_cases(specs: &[CaseSpec], opts: &RunOptions) -> Vec<CaseOutcome> {
             let tx = tx.clone();
             let queues = &queues;
             let cancel = &cancel;
-            let inject = opts.inject_panic.clone();
+            let hooks = Hooks::from_options(opts);
             let fail_fast = opts.fail_fast;
+            let timeout = opts.timeout;
+            let retries = opts.retries;
+            let backoff = opts.backoff;
             std::thread::Builder::new()
                 .name(format!("{WORKER_NAME_PREFIX}{worker}"))
                 .spawn_scoped(scope, move || {
@@ -215,22 +392,31 @@ pub fn run_cases(specs: &[CaseSpec], opts: &RunOptions) -> Vec<CaseOutcome> {
                                 None,
                                 Some("cancelled by fail-fast".into()),
                                 Duration::ZERO,
+                                0,
                             ));
                             continue;
                         }
                         let start = Instant::now();
-                        let (status, report, error) = attempt(&specs[index], inject.as_deref());
-                        if status == CaseStatus::Failed && fail_fast {
+                        let (status, report, error, attempts) = run_with_retries(
+                            &specs[index],
+                            &hooks,
+                            timeout,
+                            retries,
+                            backoff,
+                            cancel,
+                            fail_fast,
+                        );
+                        if status.retryable() && fail_fast {
                             cancel.store(true, Ordering::Relaxed);
                         }
-                        let _ = tx.send((index, status, report, error, start.elapsed()));
+                        let _ = tx.send((index, status, report, error, start.elapsed(), attempts));
                     }
                 })
                 .expect("spawn worker");
         }
         drop(tx);
 
-        for (index, status, report, error, duration) in rx {
+        for (index, status, report, error, duration, attempts) in rx {
             if let Some(p) = progress.as_mut() {
                 p.case_done(&specs[index].id(), status, duration);
             }
@@ -238,6 +424,7 @@ pub fn run_cases(specs: &[CaseSpec], opts: &RunOptions) -> Vec<CaseOutcome> {
                 spec: specs[index].clone(),
                 status,
                 duration,
+                attempts,
                 report,
                 error,
             });
@@ -342,10 +529,136 @@ mod tests {
         for s in [
             CaseStatus::Completed,
             CaseStatus::Failed,
+            CaseStatus::TimedOut,
             CaseStatus::Skipped,
         ] {
             assert_eq!(CaseStatus::parse(s.as_str()), Some(s));
         }
         assert_eq!(CaseStatus::parse("bogus"), None);
+    }
+
+    #[test]
+    fn timed_out_case_does_not_strand_its_worker() {
+        let specs = small_specs(4);
+        let needle = specs[1].id();
+        // A single worker must record the hung case as timed out and
+        // still finish every other case afterwards.
+        let outcomes = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 1,
+                timeout: Some(Duration::from_millis(300)),
+                inject_hang: Some(needle),
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes[1].status, CaseStatus::TimedOut);
+        assert!(outcomes[1].error.as_deref().unwrap().contains("timed out"));
+        for (i, o) in outcomes.iter().enumerate() {
+            if i != 1 {
+                assert_eq!(o.status, CaseStatus::Completed, "case {i} must still run");
+            }
+        }
+    }
+
+    #[test]
+    fn flaky_case_is_retried_deterministically() {
+        let specs = small_specs(3);
+        let needle = specs[0].id();
+        let outcomes = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 2,
+                retries: 2,
+                backoff: Duration::from_millis(1),
+                inject_flaky: Some(needle),
+                ..Default::default()
+            },
+        );
+        // The flaky hook fails attempt 1 only; the retry must complete.
+        assert_eq!(outcomes[0].status, CaseStatus::Completed);
+        assert_eq!(outcomes[0].attempts, 2);
+        assert!(outcomes[0].report.is_some());
+        for o in &outcomes[1..] {
+            assert_eq!(o.status, CaseStatus::Completed);
+            assert_eq!(o.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn persistent_failure_exhausts_the_retry_budget() {
+        let specs = small_specs(1);
+        let needle = specs[0].id();
+        let outcomes = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 1,
+                retries: 2,
+                backoff: Duration::from_millis(1),
+                inject_panic: Some(needle),
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes[0].status, CaseStatus::Failed);
+        assert_eq!(outcomes[0].attempts, 3, "1 attempt + 2 retries");
+    }
+
+    #[test]
+    fn fail_fast_cancels_promptly_despite_hung_sibling() {
+        let specs = small_specs(6);
+        let hang = specs[0].id();
+        let boom = specs[1].id();
+        // Worker A hangs on case 0 under a generous timeout; worker B
+        // fails case 1 and trips fail-fast. The pool must come back well
+        // before case 0's budget expires, with the hung case abandoned.
+        let start = Instant::now();
+        let outcomes = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 2,
+                fail_fast: true,
+                timeout: Some(Duration::from_secs(30)),
+                inject_hang: Some(hang),
+                inject_panic: Some(boom),
+                ..Default::default()
+            },
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "fail-fast must not wait out the hung case's timeout"
+        );
+        assert_eq!(outcomes[1].status, CaseStatus::Failed);
+        assert_eq!(outcomes[0].status, CaseStatus::Skipped);
+        assert!(outcomes[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("cancelled by fail-fast"));
+    }
+
+    #[test]
+    fn timeout_leaves_healthy_cases_untouched() {
+        let specs = small_specs(3);
+        let with_timeout = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 2,
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            },
+        );
+        let plain = run_cases(
+            &specs,
+            &RunOptions {
+                jobs: 2,
+                ..Default::default()
+            },
+        );
+        for (a, b) in with_timeout.iter().zip(&plain) {
+            assert_eq!(a.status, CaseStatus::Completed);
+            let (ra, rb) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+            assert_eq!(ra.cycles, rb.cycles);
+            assert_eq!(ra.sink, rb.sink);
+        }
     }
 }

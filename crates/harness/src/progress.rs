@@ -38,7 +38,7 @@ impl Progress {
         self.done += 1;
         self.busy += duration;
         match status {
-            CaseStatus::Failed => self.failed += 1,
+            CaseStatus::Failed | CaseStatus::TimedOut => self.failed += 1,
             CaseStatus::Skipped => self.skipped += 1,
             CaseStatus::Completed => {}
         }

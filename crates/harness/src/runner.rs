@@ -52,9 +52,8 @@ impl SweepConfig {
             params: Params::default(),
             options: RunOptions {
                 jobs: env_jobs(),
-                fail_fast: false,
-                inject_panic: None,
                 progress: std::io::stderr().is_terminal(),
+                ..Default::default()
             },
             resume: false,
             out_root: PathBuf::from("results"),
@@ -85,6 +84,8 @@ pub struct ExecReport {
     pub ran: usize,
     /// Cases that panicked.
     pub failed: usize,
+    /// Cases that exceeded the per-case wall-clock budget.
+    pub timed_out: usize,
     /// The manifest, as saved to `<run_dir>/manifest.json`.
     pub manifest: RunManifest,
     /// The run directory.
@@ -149,6 +150,7 @@ pub fn execute_cases(
                         spec: spec.clone(),
                         status: CaseStatus::Completed,
                         duration,
+                        attempts: 0,
                         report: Some(report),
                         error: None,
                     },
@@ -215,10 +217,15 @@ pub fn execute_cases(
         .iter()
         .filter(|o| o.status == CaseStatus::Failed)
         .count();
+    let timed_out = outcomes
+        .iter()
+        .filter(|o| o.status == CaseStatus::TimedOut)
+        .count();
     Ok(ExecReport {
         ran: to_run.len(),
         resumed: resumed_total,
         failed,
+        timed_out,
         results,
         manifest,
         run_dir,
@@ -349,8 +356,13 @@ pub fn finish_sweep(cfg: &SweepConfig) -> ExitCode {
     match run_sweep(cfg) {
         Ok(summary) => {
             let m = &summary.exec.manifest;
+            let timeouts = if summary.exec.timed_out > 0 {
+                format!(", {} timed out", summary.exec.timed_out)
+            } else {
+                String::new()
+            };
             eprintln!(
-                "run `{}`: {} cases ({} ran, {} resumed, {} failed) in {:.1}s wall, {:.2}x speedup on {} workers; manifest {}",
+                "run `{}`: {} cases ({} ran, {} resumed, {} failed{timeouts}) in {:.1}s wall, {:.2}x speedup on {} workers; manifest {}",
                 m.run,
                 m.cases.len(),
                 summary.exec.ran,
@@ -361,7 +373,10 @@ pub fn finish_sweep(cfg: &SweepConfig) -> ExitCode {
                 m.jobs,
                 RunManifest::path(&summary.exec.run_dir).display(),
             );
-            if summary.exec.failed > 0 || !summary.incomplete.is_empty() {
+            if summary.exec.failed > 0
+                || summary.exec.timed_out > 0
+                || !summary.incomplete.is_empty()
+            {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -393,6 +408,10 @@ pub fn common_usage() -> &'static str {
      \x20 --resume             skip cases completed in the run's manifest\n\
      \x20 --compact-artifacts  single-line per-case JSON (smaller runs)\n\
      \x20 --fail-fast          cancel remaining cases after the first failure\n\
+     \x20 --timeout-secs <n>   per-case wall-clock budget; over-budget cases\n\
+     \x20                      are recorded timed_out and abandoned\n\
+     \x20 --retries <n>        extra attempts for failed/timed-out cases\n\
+     \x20 --backoff-ms <n>     base backoff between attempts (default 0)\n\
      \x20 --no-progress        suppress the live progress line\n\
      \x20 --inject-panic <s>   test hook: panic in cases whose id contains <s>\n\
      \x20 --help               this text"
@@ -454,6 +473,23 @@ pub fn parse_one_common_flag(
         "--resume" => cfg.resume = true,
         "--compact-artifacts" => cfg.compact_artifacts = true,
         "--fail-fast" => cfg.options.fail_fast = true,
+        "--timeout-secs" => {
+            let secs: u64 = value("--timeout-secs")?
+                .parse()
+                .map_err(|e| format!("bad --timeout-secs: {e}"))?;
+            cfg.options.timeout = Some(Duration::from_secs(secs));
+        }
+        "--retries" => {
+            cfg.options.retries = value("--retries")?
+                .parse()
+                .map_err(|e| format!("bad --retries: {e}"))?;
+        }
+        "--backoff-ms" => {
+            let ms: u64 = value("--backoff-ms")?
+                .parse()
+                .map_err(|e| format!("bad --backoff-ms: {e}"))?;
+            cfg.options.backoff = Duration::from_millis(ms);
+        }
         "--no-progress" => cfg.options.progress = false,
         "--inject-panic" => cfg.options.inject_panic = Some(value("--inject-panic")?),
         "--help" | "-h" => {
@@ -553,6 +589,12 @@ mod tests {
             "other",
             "--inject-panic",
             "zzz",
+            "--timeout-secs",
+            "30",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "250",
         ]
         .iter()
         .map(|s| s.to_string());
@@ -568,6 +610,9 @@ mod tests {
         assert!(!cfg.options.progress);
         assert_eq!(cfg.run, "other");
         assert_eq!(cfg.options.inject_panic.as_deref(), Some("zzz"));
+        assert_eq!(cfg.options.timeout, Some(Duration::from_secs(30)));
+        assert_eq!(cfg.options.retries, 2);
+        assert_eq!(cfg.options.backoff, Duration::from_millis(250));
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! finding. The race allowlist holds the pairs that only arise with
 //! in-flight messages — the atomic-transaction model cannot reach them,
 //! but the timed simulator can, so the handler arms are load-bearing.
+//!
+//! The same machinery covers a fourth decision layer: the chaos
+//! taxonomy's `(fault class × detector)` matrix, diffed between the
+//! `expected_detector` match arms and the compiled
+//! [`stashdir_sim::TAXONOMY`] table.
 
 use crate::arms::{
     extract_enum, find_fn_body, matches_in, normalize_pattern, split_alternatives, split_tuple,
@@ -79,6 +84,10 @@ pub const RACE_ALLOWED_HOME: &[(&str, &str, &str)] = &[
 /// No local-access pairs are race-only: all eight are atomically
 /// reachable.
 pub const RACE_ALLOWED_LOCAL: &[(&str, &str, &str)] = &[];
+
+/// No fault-response pairs are exceptional: the taxonomy is the complete
+/// truth about which detector owns which fault class.
+pub const RACE_ALLOWED_FAULT: &[(&str, &str, &str)] = &[];
 
 /// One axis of a transition matrix: the ordered universe of canonical
 /// labels, extracted from the enum definitions in the scanned source.
@@ -257,16 +266,20 @@ pub struct CoverageSources {
     pub home: String,
     /// `crates/common/src/ops.rs` (MemOpKind).
     pub ops: String,
+    /// `crates/sim/src/fault.rs` (FaultClass, Detector,
+    /// `expected_detector`).
+    pub fault: String,
 }
 
 impl CoverageSources {
-    /// Reads the four files from a repo root.
+    /// Reads the five files from a repo root.
     pub fn load(root: &Path) -> io::Result<CoverageSources> {
         Ok(CoverageSources {
             msg: std::fs::read_to_string(root.join("crates/protocol/src/msg.rs"))?,
             private: std::fs::read_to_string(root.join("crates/protocol/src/private.rs"))?,
             home: std::fs::read_to_string(root.join("crates/protocol/src/home.rs"))?,
             ops: std::fs::read_to_string(root.join("crates/common/src/ops.rs"))?,
+            fault: std::fs::read_to_string(root.join("crates/sim/src/fault.rs"))?,
         })
     }
 }
@@ -280,10 +293,16 @@ pub struct ReachablePairs {
     pub local: BTreeSet<(String, String)>,
     /// `(Request, DirView-kind)` pairs.
     pub home: BTreeSet<(String, String)>,
+    /// `(FaultClass, Detector)` pairs (the chaos taxonomy).
+    pub fault: BTreeSet<(String, String)>,
 }
 
 impl ReachablePairs {
-    /// Converts the protocol crate's recorded transition set.
+    /// Converts the protocol crate's recorded transition set, plus the
+    /// sim crate's compiled fault taxonomy: just as the first three
+    /// sections diff source arms against the model checker, the
+    /// `fault_response` section diffs `expected_detector`'s arms against
+    /// [`stashdir_sim::TAXONOMY`].
     pub fn from_model(set: &stashdir_protocol::reachability::TransitionSet) -> ReachablePairs {
         let own = |it: &mut dyn Iterator<Item = (&'static str, &'static str)>| {
             it.map(|(a, b)| (a.to_string(), b.to_string())).collect()
@@ -292,6 +311,10 @@ impl ReachablePairs {
             probe: own(&mut set.probe_pairs()),
             local: own(&mut set.local_pairs()),
             home: own(&mut set.home_pairs()),
+            fault: stashdir_sim::TAXONOMY
+                .iter()
+                .map(|&(class, det)| (format!("{class:?}"), format!("{det:?}")))
+                .collect(),
         }
     }
 }
@@ -388,6 +411,7 @@ pub fn analyze(src: &CoverageSources, reachable: &ReachablePairs) -> (Vec<Sectio
     let private_toks = code_only(&lex(&src.private));
     let home_toks = code_only(&lex(&src.home));
     let ops_toks = code_only(&lex(&src.ops));
+    let fault_toks = code_only(&lex(&src.fault));
 
     // Axes from the enum definitions.
     let mut payloads: BTreeMap<String, Vec<String>> = BTreeMap::new();
@@ -461,6 +485,22 @@ pub fn analyze(src: &CoverageSources, reachable: &ReachablePairs) -> (Vec<Sectio
         "MemOpKind",
         "MemOpKind",
         "crates/common/src/ops.rs",
+        false,
+        &mut findings,
+    );
+    let ax_fault = axis(
+        &fault_toks,
+        "FaultClass",
+        "FaultClass",
+        "crates/sim/src/fault.rs",
+        false,
+        &mut findings,
+    );
+    let ax_detector = axis(
+        &fault_toks,
+        "Detector",
+        "Detector",
+        "crates/sim/src/fault.rs",
         false,
         &mut findings,
     );
@@ -579,6 +619,46 @@ pub fn analyze(src: &CoverageSources, reachable: &ReachablePairs) -> (Vec<Sectio
         }
     }
 
+    // Section 4: the fault-response layer. `expected_detector` matches on
+    // the fault class and names the owning detector in each arm body;
+    // the pairs are diffed against the compiled chaos taxonomy exactly
+    // like the protocol sections are diffed against the model checker.
+    let mut fault_source = PairMap::new();
+    {
+        let mut ex = Extractor {
+            findings: &mut findings,
+            file: "crates/sim/src/fault.rs".to_string(),
+        };
+        match fn_match(&fault_toks, "expected_detector", "class") {
+            Some(m) => {
+                for arm in m.arms.iter().filter(|a| !a.is_rejection()) {
+                    let classes = ex.arm_labels(arm, &ax_fault);
+                    let detector = arm
+                        .body
+                        .iter()
+                        .find(|t| ax_detector.labels.iter().any(|l| t.is_ident(l)))
+                        .map(|t| t.text.clone());
+                    let Some(detector) = detector else {
+                        ex.parse_error(
+                            arm.line,
+                            "expected_detector arm names no Detector variant".to_string(),
+                        );
+                        continue;
+                    };
+                    for class in classes {
+                        fault_source
+                            .entry((class, detector.clone()))
+                            .or_insert_with(|| (ex.file.clone(), arm.line));
+                    }
+                }
+            }
+            None => ex.parse_error(
+                0,
+                "fn expected_detector: match on class not found".to_string(),
+            ),
+        }
+    }
+
     let sections = vec![
         Section {
             name: "private_probe",
@@ -603,6 +683,14 @@ pub fn analyze(src: &CoverageSources, reachable: &ReachablePairs) -> (Vec<Sectio
             source: home_source,
             reachable: reachable.home.clone(),
             race_allowed: allowlist(RACE_ALLOWED_HOME),
+        },
+        Section {
+            name: "fault_response",
+            rows: ax_fault.labels.clone(),
+            cols: ax_detector.labels.clone(),
+            source: fault_source,
+            reachable: reachable.fault.clone(),
+            race_allowed: allowlist(RACE_ALLOWED_FAULT),
         },
     ];
     for s in &sections {

@@ -11,13 +11,16 @@
 //!    (`stashdir_protocol::reachability`). Uncovered reachable
 //!    transitions and dead handler arms both fail the lint; pairs that
 //!    only arise through in-flight races live on a documented allowlist.
+//!    A fourth section diffs the chaos layer's `expected_detector` arms
+//!    against the compiled `(FaultClass × Detector)` taxonomy the same
+//!    way.
 //! 2. **Hot-path panics** ([`panics`]): no `unwrap()` / `expect()` /
 //!    panicking indexing in the hot crates (`core`, `protocol`, `sim`,
 //!    `mem`) outside an explicit `// lint: allow(...)` directive.
 //! 3. **Stat registration** ([`statreg`]): every stat field of
-//!    `SimReport` / `TimelineSample` / `Histogram` / `StatSink` must
-//!    appear in its merge/serialization path, so counters cannot be
-//!    silently dropped from sweep artifacts.
+//!    `SimReport` / `TimelineSample` / `FaultSummary` / `Histogram` /
+//!    `StatSink` must appear in its merge/serialization path, so
+//!    counters cannot be silently dropped from sweep artifacts.
 //!
 //! The `lint` binary runs all passes over a repo root, prints findings,
 //! writes the transition-matrix JSON artifact, and exits non-zero on any

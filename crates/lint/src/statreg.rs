@@ -65,6 +65,20 @@ pub const RULES: &[RegRule] = &[
         ],
     },
     RegRule {
+        struct_file: "crates/sim/src/fault.rs",
+        struct_name: "FaultSummary",
+        registries: &[
+            Registry {
+                file: "crates/harness/src/artifact.rs",
+                function: "fault_to_json",
+            },
+            Registry {
+                file: "crates/harness/src/artifact.rs",
+                function: "fault_from_json",
+            },
+        ],
+    },
+    RegRule {
         struct_file: "crates/common/src/stats.rs",
         struct_name: "Histogram",
         registries: &[Registry {

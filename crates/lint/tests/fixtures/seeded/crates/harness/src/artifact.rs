@@ -13,6 +13,17 @@ pub fn report_from_json(v: &Value) -> SimReport {
     }
 }
 
+pub fn fault_to_json(f: &FaultSummary) -> Value {
+    obj(&[("injected", f.injected), ("detected", f.detected)])
+}
+
+pub fn fault_from_json(v: &Value) -> FaultSummary {
+    FaultSummary {
+        injected: num(v, "injected"),
+        detected: num(v, "detected"),
+    }
+}
+
 pub fn sample_to_json(s: &TimelineSample) -> Value {
     obj(&[("at", s.at), ("l2_misses", s.l2_misses)])
 }

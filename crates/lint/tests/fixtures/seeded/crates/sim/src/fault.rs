@@ -1,0 +1,35 @@
+//! Fixture fault taxonomy. `expected_detector` omits the
+//! `StuckTransient` arm, seeding an uncovered fault-response transition
+//! against the compiled taxonomy. `FaultSummary` is fully registered in
+//! the fixture artifact module.
+
+pub enum FaultClass {
+    NocDelay,
+    NocDuplicate,
+    SharerFlip,
+    StashClear,
+    StashSpurious,
+    DropGrant,
+    StuckTransient,
+}
+
+pub enum Detector {
+    Invariant,
+    Watchdog,
+}
+
+pub fn expected_detector(class: FaultClass) -> Detector {
+    match class {
+        FaultClass::NocDelay => Detector::Watchdog,
+        FaultClass::NocDuplicate => Detector::Invariant,
+        FaultClass::SharerFlip => Detector::Invariant,
+        FaultClass::StashClear => Detector::Invariant,
+        FaultClass::StashSpurious => Detector::Invariant,
+        FaultClass::DropGrant => Detector::Invariant,
+    }
+}
+
+pub struct FaultSummary {
+    pub injected: u64,
+    pub detected: u64,
+}

@@ -3,8 +3,9 @@
 //! Two directions: the lint must be **clean on this repository** (the CI
 //! gate), and it must **fire on the seeded fixture tree** under
 //! `tests/fixtures/seeded/`, which plants one violation per rule family:
-//! an uncovered reachable transition, a disallowed `unwrap()` /
-//! `expect()` / panicking index, and an unregistered stat field.
+//! an uncovered reachable transition, an uncovered fault-response
+//! transition, a disallowed `unwrap()` / `expect()` / panicking index,
+//! and an unregistered stat field.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -58,6 +59,11 @@ fn seeded_fixture_fires_each_rule() {
         "missing uncovered-transition finding:\n{}",
         render_findings(&report.findings)
     );
+    assert!(
+        has(RULE_COVERAGE_UNCOVERED, "(StuckTransient, Watchdog)"),
+        "missing uncovered fault-response finding:\n{}",
+        render_findings(&report.findings)
+    );
     assert!(has(RULE_UNWRAP, "bad.rs"), "missing unwrap finding");
     assert!(has(RULE_EXPECT, "bad.rs"), "missing expect finding");
     assert!(has(RULE_INDEXING, "bad.rs"), "missing indexing finding");
@@ -76,8 +82,8 @@ fn seeded_fixture_fires_each_rule() {
     );
     assert_eq!(
         report.findings.len(),
-        5,
-        "exactly the five seeded violations:\n{}",
+        6,
+        "exactly the six seeded violations:\n{}",
         render_findings(&report.findings)
     );
 }
@@ -96,7 +102,7 @@ fn repo_matrix_matches_model_reachable_set() {
     );
     assert_eq!(
         sections.iter().map(|s| s.name).collect::<Vec<_>>(),
-        ["private_probe", "local_access", "home"]
+        ["private_probe", "local_access", "home", "fault_response"]
     );
     for s in &sections {
         for pair in &s.reachable {
@@ -192,5 +198,5 @@ fn binary_exit_codes_gate_ci() {
     let _ = std::fs::remove_file(&artifact);
     assert!(Value::parse(&text).is_ok(), "artifact is valid JSON");
     let out = String::from_utf8_lossy(&seeded.stdout);
-    assert!(out.contains("5 finding(s)"), "stdout:\n{out}");
+    assert!(out.contains("6 finding(s)"), "stdout:\n{out}");
 }

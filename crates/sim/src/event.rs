@@ -79,6 +79,23 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Every pending event in pop order, without disturbing the queue
+    /// (diagnostic snapshots).
+    pub fn pending(&self) -> Vec<(Cycle, &E)> {
+        let mut items: Vec<(Cycle, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|Reverse((t, seq, e))| (*t, *seq, &e.0))
+            .collect();
+        items.sort_by_key(|&(t, seq, _)| (t, seq));
+        items.into_iter().map(|(t, _, e)| (t, e)).collect()
+    }
+
+    /// Discards every pending event (quiesce).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
 }
 
 impl<E> Default for EventQueue<E> {

@@ -1,0 +1,476 @@
+//! Deterministic fault injection: the taxonomy, the per-run plan, and
+//! the detection accounting.
+//!
+//! The chaos layer exists to prove the invariant checker and the
+//! liveness watchdog *detect* protocol damage, not merely to tolerate
+//! it. Every fault class in [`TAXONOMY`] names the layer it perturbs and
+//! the detector expected to catch it; the chaos smoke suite (E17) and
+//! the mutation-gate test assert the mapping holds for every class.
+//!
+//! Injection is seeded from the case RNG via [`FaultConfig::seed`], so a
+//! faulty run is exactly reproducible and resume-stable: the same case
+//! digest always yields the same injections, detections and snapshot.
+//!
+//! With no class enabled (see [`FaultConfig::disabled`]) the hook layer
+//! is provably zero-cost: a `FaultPlan`-threaded run produces reports
+//! and artifacts byte-identical to a plain run (property-tested in the
+//! harness).
+
+use serde::{Deserialize, Serialize};
+use stashdir_common::json::Value;
+use stashdir_common::DetRng;
+
+/// The kinds of damage the chaos layer can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A NoC message is delayed far beyond any legitimate latency
+    /// (injected through the network hook).
+    NocDelay,
+    /// A demand request is duplicated in flight (injected through the
+    /// network hook); the second copy arrives with no matching pending
+    /// operation.
+    NocDuplicate,
+    /// A directory entry forgets (or mis-names) a live holder: a sharer
+    /// bit flips off, or an exclusive owner is dropped.
+    SharerFlip,
+    /// A set stash bit covering a real hidden copy is cleared, so the
+    /// copy becomes invisible to discovery.
+    StashClear,
+    /// A stash bit is set on a line the directory still tracks,
+    /// violating the stash discipline.
+    StashSpurious,
+    /// A grant is dropped on completion: the requester never observes
+    /// its fill and keeps its pending operation forever.
+    DropGrant,
+    /// A home bank's per-block busy window sticks far in the future, so
+    /// the next transaction on the block cannot serialize in bounded
+    /// time.
+    StuckTransient,
+}
+
+impl FaultClass {
+    /// Every fault class, in taxonomy order.
+    pub const ALL: &'static [FaultClass] = &[
+        FaultClass::NocDelay,
+        FaultClass::NocDuplicate,
+        FaultClass::SharerFlip,
+        FaultClass::StashClear,
+        FaultClass::StashSpurious,
+        FaultClass::DropGrant,
+        FaultClass::StuckTransient,
+    ];
+
+    /// Stable lowercase label (artifact keys, CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::NocDelay => "noc_delay",
+            FaultClass::NocDuplicate => "noc_duplicate",
+            FaultClass::SharerFlip => "sharer_flip",
+            FaultClass::StashClear => "stash_clear",
+            FaultClass::StashSpurious => "stash_spurious",
+            FaultClass::DropGrant => "drop_grant",
+            FaultClass::StuckTransient => "stuck_transient",
+        }
+    }
+
+    /// Parses a [`FaultClass::label`] string.
+    pub fn parse(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.iter().copied().find(|c| c.label() == s)
+    }
+}
+
+/// Which mechanism is expected to catch a fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Detector {
+    /// A machine-wide invariant (I1–I8) flags the damage as a
+    /// violation.
+    Invariant,
+    /// The forward-progress watchdog diagnoses a structured stall.
+    Watchdog,
+}
+
+impl Detector {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Detector::Invariant => "invariant",
+            Detector::Watchdog => "watchdog",
+        }
+    }
+}
+
+/// The fault-response matrix: every enabled fault class paired with the
+/// detector that must catch it. The lint's fourth decision layer diffs
+/// [`expected_detector`]'s match arms against this table, and the
+/// mutation gate asserts each row detects in practice.
+pub const TAXONOMY: &[(FaultClass, Detector)] = &[
+    (FaultClass::NocDelay, Detector::Watchdog),
+    (FaultClass::NocDuplicate, Detector::Invariant),
+    (FaultClass::SharerFlip, Detector::Invariant),
+    (FaultClass::StashClear, Detector::Invariant),
+    (FaultClass::StashSpurious, Detector::Invariant),
+    (FaultClass::DropGrant, Detector::Invariant),
+    (FaultClass::StuckTransient, Detector::Watchdog),
+];
+
+/// The detector responsible for `class`.
+///
+/// Delay and stuck-transient faults starve forward progress without
+/// corrupting state, so only the watchdog can see them; everything else
+/// leaves a state footprint one of the checker invariants flags.
+pub fn expected_detector(class: FaultClass) -> Detector {
+    match class {
+        FaultClass::NocDelay => Detector::Watchdog,
+        FaultClass::NocDuplicate => Detector::Invariant,
+        FaultClass::SharerFlip => Detector::Invariant,
+        FaultClass::StashClear => Detector::Invariant,
+        FaultClass::StashSpurious => Detector::Invariant,
+        FaultClass::DropGrant => Detector::Invariant,
+        FaultClass::StuckTransient => Detector::Watchdog,
+    }
+}
+
+/// Configuration for one faulty run.
+///
+/// Thread it into a machine with [`Machine::with_faults`]; a config with
+/// no class and no watchdog bound is inert.
+///
+/// [`Machine::with_faults`]: crate::Machine::with_faults
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// The single class to inject, or `None` for a fault-free run with
+    /// the hook layer still threaded (watchdog may still be armed).
+    pub class: Option<FaultClass>,
+    /// Seed for the injection RNG (independent of the workload seed).
+    pub seed: u64,
+    /// Injection probability per opportunity, in thousandths.
+    pub rate_per_mille: u32,
+    /// Cap on recorded injections; `0` = unlimited.
+    pub max_injections: u64,
+    /// Extra delivery delay for [`FaultClass::NocDelay`], cycles.
+    pub delay_cycles: u64,
+    /// How far a [`FaultClass::StuckTransient`] pins the block busy
+    /// window into the future, cycles.
+    pub stuck_cycles: u64,
+    /// Forward-progress bound: a core that retires nothing for this many
+    /// cycles is diagnosed as stalled. `0` disables the watchdog.
+    pub watchdog_bound: u64,
+}
+
+impl FaultConfig {
+    /// A fully inert config: no class, no watchdog.
+    pub fn disabled() -> FaultConfig {
+        FaultConfig {
+            class: None,
+            seed: 0,
+            rate_per_mille: 0,
+            max_injections: 0,
+            delay_cycles: 0,
+            stuck_cycles: 0,
+            watchdog_bound: 0,
+        }
+    }
+
+    /// The chaos-suite config for `class`: inject at the first
+    /// opportunity (rate 100%, one injection), with starvation horizons
+    /// far beyond the watchdog bound so liveness faults trip it
+    /// deterministically.
+    pub fn for_class(class: FaultClass, seed: u64) -> FaultConfig {
+        FaultConfig {
+            class: Some(class),
+            seed,
+            rate_per_mille: 1000,
+            max_injections: 1,
+            delay_cycles: 50_000_000,
+            stuck_cycles: 50_000_000,
+            watchdog_bound: 1_000_000,
+        }
+    }
+}
+
+/// Injection and detection counters, surfaced on
+/// [`SimReport`](crate::SimReport) and persisted in sweep artifacts.
+/// All-zero on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// NoC messages delayed.
+    pub injected_noc_delay: u64,
+    /// NoC demand requests duplicated.
+    pub injected_noc_duplicate: u64,
+    /// Directory views corrupted (holder dropped / owner mis-named).
+    pub injected_sharer_flip: u64,
+    /// Stash bits covering live hidden copies cleared.
+    pub injected_stash_clear: u64,
+    /// Spurious stash bits set on tracked lines.
+    pub injected_stash_spurious: u64,
+    /// Grants dropped on completion.
+    pub injected_drop_grant: u64,
+    /// Block busy windows pinned far in the future.
+    pub injected_stuck_transient: u64,
+    /// Detection events attributed to the invariant checker.
+    pub detected_invariant: u64,
+    /// Detection events attributed to the liveness watchdog.
+    pub detected_watchdog: u64,
+    /// `1` when the machine quiesced early (snapshot dumped) instead of
+    /// running to completion.
+    pub quiesced: u64,
+}
+
+impl FaultSummary {
+    /// Total injections across classes.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_noc_delay
+            + self.injected_noc_duplicate
+            + self.injected_sharer_flip
+            + self.injected_stash_clear
+            + self.injected_stash_spurious
+            + self.injected_drop_grant
+            + self.injected_stuck_transient
+    }
+
+    /// Total detection events across detectors.
+    pub fn detected_total(&self) -> u64 {
+        self.detected_invariant + self.detected_watchdog
+    }
+
+    /// The injection counter for `class`.
+    pub fn injected_for(&self, class: FaultClass) -> u64 {
+        match class {
+            FaultClass::NocDelay => self.injected_noc_delay,
+            FaultClass::NocDuplicate => self.injected_noc_duplicate,
+            FaultClass::SharerFlip => self.injected_sharer_flip,
+            FaultClass::StashClear => self.injected_stash_clear,
+            FaultClass::StashSpurious => self.injected_stash_spurious,
+            FaultClass::DropGrant => self.injected_drop_grant,
+            FaultClass::StuckTransient => self.injected_stuck_transient,
+        }
+    }
+
+    /// The detection counter for `detector`.
+    pub fn detected_for(&self, detector: Detector) -> u64 {
+        match detector {
+            Detector::Invariant => self.detected_invariant,
+            Detector::Watchdog => self.detected_watchdog,
+        }
+    }
+
+    /// Bumps the injection counter for `class`.
+    pub fn record_injection(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::NocDelay => self.injected_noc_delay += 1,
+            FaultClass::NocDuplicate => self.injected_noc_duplicate += 1,
+            FaultClass::SharerFlip => self.injected_sharer_flip += 1,
+            FaultClass::StashClear => self.injected_stash_clear += 1,
+            FaultClass::StashSpurious => self.injected_stash_spurious += 1,
+            FaultClass::DropGrant => self.injected_drop_grant += 1,
+            FaultClass::StuckTransient => self.injected_stuck_transient += 1,
+        }
+    }
+
+    /// Bumps the detection counter for `detector`.
+    pub fn record_detection(&mut self, detector: Detector) {
+        match detector {
+            Detector::Invariant => self.detected_invariant += 1,
+            Detector::Watchdog => self.detected_watchdog += 1,
+        }
+    }
+}
+
+/// The runtime side of a [`FaultConfig`]: the injection RNG plus the
+/// accumulating [`FaultSummary`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: DetRng,
+    /// Counters accumulated so far.
+    pub summary: FaultSummary,
+}
+
+impl FaultPlan {
+    /// Builds a plan from `cfg`.
+    pub fn new(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            rng: DetRng::seed_from(cfg.seed ^ 0xC4A0_5DA7),
+            cfg,
+            summary: FaultSummary::default(),
+        }
+    }
+
+    /// The configuration this plan runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// The watchdog bound, `None` when the watchdog is disarmed.
+    pub fn watchdog_bound(&self) -> Option<u64> {
+        (self.cfg.watchdog_bound > 0).then_some(self.cfg.watchdog_bound)
+    }
+
+    /// `true` when `class` is the enabled class and its injection budget
+    /// is not exhausted. Does not consume randomness or record anything.
+    pub fn armed(&self, class: FaultClass) -> bool {
+        self.cfg.class == Some(class)
+            && (self.cfg.max_injections == 0
+                || self.summary.injected_total() < self.cfg.max_injections)
+    }
+
+    /// Rolls the injection dice for `class`: `true` when the fault
+    /// should fire *and the caller will apply it*. The caller records
+    /// the injection via [`FaultPlan::record_injection`] only once the
+    /// damage is actually applied (targeted corruptions may find no
+    /// victim).
+    pub fn roll(&mut self, class: FaultClass) -> bool {
+        if !self.armed(class) {
+            return false;
+        }
+        self.cfg.rate_per_mille >= 1000 || self.rng.below(1000) < self.cfg.rate_per_mille as u64
+    }
+
+    /// Records one applied injection of `class`.
+    pub fn record_injection(&mut self, class: FaultClass) {
+        self.summary.record_injection(class);
+    }
+
+    /// Records one detection event by `detector`.
+    pub fn record_detection(&mut self, detector: Detector) {
+        self.summary.record_detection(detector);
+    }
+
+    /// Access to the plan's RNG for target selection.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+}
+
+/// The schema tag every diagnostic snapshot carries.
+pub const SNAPSHOT_SCHEMA: &str = "stashdir/diag-snapshot/v1";
+
+/// Validates a parsed diagnostic snapshot against the
+/// [`SNAPSHOT_SCHEMA`] shape: schema tag, quiesce reason, cycle and
+/// transaction counts, per-core pipeline/cache sections, per-bank
+/// directory sections, in-flight messages and the recent-event trail.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_snapshot(v: &Value) -> Result<(), String> {
+    fn need<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+        v.get(key).ok_or_else(|| format!("missing key `{key}`"))
+    }
+    fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+        need(v, key)?
+            .as_u64()
+            .ok_or_else(|| format!("`{key}` is not an unsigned integer"))
+    }
+    fn need_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+        need(v, key)?
+            .as_array()
+            .ok_or_else(|| format!("`{key}` is not an array"))
+    }
+    let schema = need(v, "schema")?
+        .as_str()
+        .ok_or("`schema` is not a string")?;
+    if schema != SNAPSHOT_SCHEMA {
+        return Err(format!("schema `{schema}`, expected `{SNAPSHOT_SCHEMA}`"));
+    }
+    need(v, "reason")?
+        .as_str()
+        .ok_or("`reason` is not a string")?;
+    need_u64(v, "cycle")?;
+    need_u64(v, "transactions")?;
+    for (i, core) in need_array(v, "cores")?.iter().enumerate() {
+        for key in ["core", "pc", "trace_len", "ops_done", "last_retire"] {
+            need_u64(core, key).map_err(|e| format!("cores[{i}]: {e}"))?;
+        }
+        need(core, "pending").map_err(|e| format!("cores[{i}]: {e}"))?;
+        need(core, "finished")
+            .ok()
+            .and_then(Value::as_bool)
+            .ok_or_else(|| format!("cores[{i}]: `finished` is not a bool"))?;
+        for key in ["l1_blocks", "l2", "writebacks"] {
+            need_array(core, key).map_err(|e| format!("cores[{i}]: {e}"))?;
+        }
+    }
+    for (i, bank) in need_array(v, "banks")?.iter().enumerate() {
+        need_u64(bank, "bank").map_err(|e| format!("banks[{i}]: {e}"))?;
+        need_u64(bank, "llc_lines").map_err(|e| format!("banks[{i}]: {e}"))?;
+        for key in ["dir", "stash_bits"] {
+            need_array(bank, key).map_err(|e| format!("banks[{i}]: {e}"))?;
+        }
+    }
+    for (i, msg) in need_array(v, "in_flight")?.iter().enumerate() {
+        need_u64(msg, "at").map_err(|e| format!("in_flight[{i}]: {e}"))?;
+        need(msg, "event")
+            .ok()
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("in_flight[{i}]: `event` is not a string"))?;
+    }
+    for (i, line) in need_array(v, "recent_events")?.iter().enumerate() {
+        line.as_str()
+            .ok_or_else(|| format!("recent_events[{i}] is not a string"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_covers_every_class_once() {
+        assert_eq!(TAXONOMY.len(), FaultClass::ALL.len());
+        for &class in FaultClass::ALL {
+            let rows: Vec<_> = TAXONOMY.iter().filter(|(c, _)| *c == class).collect();
+            assert_eq!(rows.len(), 1, "{class:?} appears exactly once");
+            assert_eq!(rows[0].1, expected_detector(class));
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for &class in FaultClass::ALL {
+            assert_eq!(FaultClass::parse(class.label()), Some(class));
+        }
+        assert_eq!(FaultClass::parse("bogus"), None);
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let mut plan = FaultPlan::new(FaultConfig::disabled());
+        for &class in FaultClass::ALL {
+            assert!(!plan.roll(class));
+        }
+        assert_eq!(plan.summary, FaultSummary::default());
+        assert_eq!(plan.watchdog_bound(), None);
+    }
+
+    #[test]
+    fn max_injections_caps_the_budget() {
+        let mut cfg = FaultConfig::for_class(FaultClass::DropGrant, 7);
+        cfg.max_injections = 2;
+        let mut plan = FaultPlan::new(cfg);
+        assert!(plan.roll(FaultClass::DropGrant));
+        plan.record_injection(FaultClass::DropGrant);
+        assert!(plan.roll(FaultClass::DropGrant));
+        plan.record_injection(FaultClass::DropGrant);
+        assert!(!plan.roll(FaultClass::DropGrant), "budget exhausted");
+        assert!(!plan.roll(FaultClass::NocDelay), "wrong class never arms");
+        assert_eq!(plan.summary.injected_drop_grant, 2);
+        assert_eq!(plan.summary.injected_total(), 2);
+    }
+
+    #[test]
+    fn summary_counters_accumulate_by_class_and_detector() {
+        let mut s = FaultSummary::default();
+        for &class in FaultClass::ALL {
+            s.record_injection(class);
+        }
+        assert_eq!(s.injected_total(), FaultClass::ALL.len() as u64);
+        s.record_detection(Detector::Invariant);
+        s.record_detection(Detector::Watchdog);
+        s.record_detection(Detector::Watchdog);
+        assert_eq!(s.detected_invariant, 1);
+        assert_eq!(s.detected_watchdog, 2);
+        assert_eq!(s.detected_total(), 3);
+    }
+}

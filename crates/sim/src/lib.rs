@@ -54,11 +54,15 @@ pub mod bank;
 pub mod checker;
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod machine;
 pub mod private;
 pub mod report;
 pub mod values;
 
 pub use config::{CoverageRatio, DirSpec, SystemConfig};
+pub use fault::{
+    expected_detector, Detector, FaultClass, FaultConfig, FaultPlan, FaultSummary, TAXONOMY,
+};
 pub use machine::Machine;
 pub use report::SimReport;

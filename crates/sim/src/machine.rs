@@ -14,20 +14,27 @@
 use crate::bank::{Bank, LlcLine};
 use crate::config::SystemConfig;
 use crate::event::EventQueue;
+use crate::fault::{Detector, FaultClass, FaultConfig, FaultPlan};
 use crate::private::{AccessResult, PrivateHier};
 use crate::report::{SimReport, TimelineSample};
 use crate::values::ValueTracker;
+use stashdir_common::json::Value;
 use stashdir_common::{
     BankId, BlockAddr, CoreId, Cycle, Histogram, MemOp, MemOpKind, NodeId, StatSink,
 };
 use stashdir_core::EvictionAction;
 use stashdir_mem::DramModel;
-use stashdir_noc::Network;
+use stashdir_noc::{LinkFaultConfig, Network};
 use stashdir_protocol::{
     decide, decide_put, discovery_intent, discovery_targets, needs_discovery, DirView,
-    DiscoveryIntent, Grant, Probe, ProbeReply, PutOutcome, Request, CONTROL_FLITS, DATA_FLITS,
+    DiscoveryIntent, Grant, PrivState, Probe, ProbeReply, PutOutcome, Request, CONTROL_FLITS,
+    DATA_FLITS,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Ring-buffer depth of the event trail kept for diagnostic snapshots
+/// (maintained only while fault injection is threaded).
+const RECENT_EVENTS: usize = 32;
 
 /// Per-core runtime state.
 #[derive(Debug)]
@@ -90,6 +97,11 @@ pub struct Machine {
     inv_round_size: Histogram,
     timeline: Vec<TimelineSample>,
     next_sample: Cycle,
+    faults: Option<FaultPlan>,
+    last_retire: Vec<Cycle>,
+    recent_events: VecDeque<String>,
+    snapshot: Option<String>,
+    quiesced: bool,
 }
 
 impl Machine {
@@ -149,8 +161,45 @@ impl Machine {
             } else {
                 Cycle::MAX
             },
+            faults: None,
+            last_retire: Vec::new(),
+            recent_events: VecDeque::new(),
+            snapshot: None,
+            quiesced: false,
             cfg: config,
         }
+    }
+
+    /// Threads the deterministic fault-injection layer into this machine.
+    ///
+    /// With [`FaultConfig::disabled`] the run is byte-identical to a
+    /// plain [`Machine::new`] run (the zero-cost property the harness
+    /// property-tests); with a class enabled, the configured fault is
+    /// injected and the run quiesces with a diagnostic snapshot when the
+    /// invariant checker or the liveness watchdog catches the damage.
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
+        if matches!(
+            cfg.class,
+            Some(FaultClass::NocDelay | FaultClass::NocDuplicate)
+        ) {
+            self.net.set_link_faults(LinkFaultConfig {
+                seed: cfg.seed,
+                delay_per_mille: if cfg.class == Some(FaultClass::NocDelay) {
+                    cfg.rate_per_mille
+                } else {
+                    0
+                },
+                delay_cycles: cfg.delay_cycles,
+                dup_per_mille: if cfg.class == Some(FaultClass::NocDuplicate) {
+                    cfg.rate_per_mille
+                } else {
+                    0
+                },
+                max_faults: cfg.max_injections,
+            });
+        }
+        self.faults = Some(FaultPlan::new(cfg));
+        self
     }
 
     /// The configuration this machine was built with.
@@ -186,6 +235,7 @@ impl Machine {
                 ops_done: 0,
             })
             .collect();
+        self.last_retire = vec![Cycle::ZERO; self.cfg.cores as usize];
         for c in 0..self.cfg.cores {
             self.queue.push(Cycle::ZERO, Event::Issue(CoreId::new(c)));
         }
@@ -193,6 +243,12 @@ impl Machine {
         while let Some((now, event)) = self.queue.pop() {
             debug_assert!(now >= last, "time went backwards");
             last = now;
+            if self.faults.is_some() {
+                self.note_event(now, &event);
+                if self.watchdog_tripped(now) {
+                    break;
+                }
+            }
             if now >= self.next_sample {
                 self.record_sample(now);
                 self.next_sample = now + self.cfg.timeline_interval;
@@ -201,8 +257,24 @@ impl Machine {
                 Event::Issue(core) => self.handle_issue(core, now),
                 Event::BankMsg(msg) => self.handle_bank_msg(msg, now),
             }
+            if self.quiesced {
+                break;
+            }
         }
         let violations = self.final_check();
+        // A faulty run whose damage only surfaces at the end of the run
+        // (a dropped grant leaving a core pending, I6) still counts as an
+        // invariant detection and still gets a snapshot.
+        if !violations.is_empty() {
+            if let Some(plan) = self.faults.as_mut() {
+                if plan.summary.detected_total() == 0 {
+                    plan.record_detection(Detector::Invariant);
+                }
+            }
+            if self.faults.is_some() && self.snapshot.is_none() {
+                self.snapshot = Some(self.diag_snapshot(last, "final_check").render());
+            }
+        }
         self.build_report(violations)
     }
 
@@ -248,9 +320,329 @@ impl Machine {
         arrival
     }
 
+    /// [`Machine::deliver`] through the network's fault hook: the
+    /// arrival may be delayed, and a duplicate delivery time may come
+    /// back. Both are FIFO-clamped on the channel, duplicate after the
+    /// original. Without a threaded fault plan this is exactly
+    /// [`Machine::deliver`].
+    fn deliver_faulty(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flits: u32,
+        class: &'static str,
+        t: Cycle,
+    ) -> (Cycle, Option<Cycle>) {
+        if self.faults.is_none() {
+            return (self.deliver(src, dst, flits, class, t), None);
+        }
+        let out = self.net.send_faulty(src, dst, flits, class, t);
+        let arrival = {
+            let slot = self.chan_last.entry((src, dst)).or_insert(Cycle::ZERO);
+            let arrival = out.arrival.max(*slot + 1);
+            *slot = arrival;
+            arrival
+        };
+        let duplicate = out.duplicate.map(|raw| {
+            let slot = self.chan_last.entry((src, dst)).or_insert(Cycle::ZERO);
+            let a = raw.max(*slot + 1);
+            *slot = a;
+            a
+        });
+        (arrival, duplicate)
+    }
+
+    // ---- fault injection, watchdog, quiesce ----
+
+    /// Appends one line to the diagnostic event trail (faulty runs only).
+    fn note_event(&mut self, now: Cycle, event: &Event) {
+        if self.recent_events.len() == RECENT_EVENTS {
+            self.recent_events.pop_front();
+        }
+        self.recent_events.push_back(format!("{now}: {event:?}"));
+    }
+
+    /// `true` when the armed watchdog finds an unfinished core that has
+    /// retired nothing within the bound; records the structured stall
+    /// diagnosis and quiesces.
+    fn watchdog_tripped(&mut self, now: Cycle) -> bool {
+        let Some(bound) = self.faults.as_ref().and_then(|p| p.watchdog_bound()) else {
+            return false;
+        };
+        let mut stalled = None;
+        for (i, core) in self.cores.iter().enumerate() {
+            if core.finish.is_none() {
+                let gap = now.saturating_since(self.last_retire[i]);
+                if gap > bound {
+                    stalled = Some((i, gap));
+                    break;
+                }
+            }
+        }
+        let Some((core, gap)) = stalled else {
+            return false;
+        };
+        self.values.report(format!(
+            "Stall: core{core} retired nothing for {gap} cycles (watchdog bound {bound}) at {now}"
+        ));
+        if let Some(plan) = self.faults.as_mut() {
+            plan.record_detection(Detector::Watchdog);
+        }
+        self.quiesce(now, "watchdog_stall");
+        true
+    }
+
+    /// Rolls the injection dice for `class` under the threaded plan.
+    fn roll_fault(&mut self, class: FaultClass) -> bool {
+        self.faults.as_mut().is_some_and(|p| p.roll(class))
+    }
+
+    /// Records an invariant-checker detection and quiesces (faulty runs
+    /// only).
+    fn detect_invariant(&mut self, now: Cycle, reason: &str) {
+        if let Some(plan) = self.faults.as_mut() {
+            plan.record_detection(Detector::Invariant);
+        }
+        self.quiesce(now, reason);
+    }
+
+    /// Stops the run gracefully: marks the summary, renders the
+    /// diagnostic snapshot, and drains the event queue so the run loop
+    /// exits instead of panicking mid-handler or spinning forever.
+    fn quiesce(&mut self, now: Cycle, reason: &str) {
+        if self.quiesced {
+            return;
+        }
+        self.quiesced = true;
+        if let Some(plan) = self.faults.as_mut() {
+            plan.summary.quiesced = 1;
+        }
+        self.snapshot = Some(self.diag_snapshot(now, reason).render());
+        self.queue.clear();
+    }
+
+    /// Attempts one state-corruption injection (sharer flip, stash
+    /// clear, spurious stash). Returns `true` when damage was applied —
+    /// targeted corruptions may find no victim this transaction, in
+    /// which case nothing is recorded and nothing changed.
+    fn inject_state_fault(&mut self) -> bool {
+        let class = match self.faults.as_ref().and_then(|p| p.config().class) {
+            Some(
+                c @ (FaultClass::SharerFlip | FaultClass::StashClear | FaultClass::StashSpurious),
+            ) => c,
+            _ => return false,
+        };
+        if !self.roll_fault(class) {
+            return false;
+        }
+        let applied = match class {
+            FaultClass::SharerFlip => self.corrupt_sharer(),
+            FaultClass::StashClear => self.corrupt_stash_clear(),
+            FaultClass::StashSpurious => self.corrupt_stash_spurious(),
+            _ => false,
+        };
+        if applied {
+            if let Some(plan) = self.faults.as_mut() {
+                plan.record_injection(class);
+            }
+        }
+        applied
+    }
+
+    /// Drops a live holder from a directory view: an exclusive owner's
+    /// entry vanishes, or a sharer bit flips off. Targets only holders
+    /// that really hold a valid copy, so the damage is always
+    /// detectable.
+    fn corrupt_sharer(&mut self) -> bool {
+        for b in 0..self.banks.len() {
+            for (block, view) in self.banks[b].dir_entries() {
+                for victim in view.holders() {
+                    if self.privs[victim.index()].state_of(block) == PrivState::Invalid {
+                        continue;
+                    }
+                    match &view {
+                        DirView::Untracked => continue,
+                        DirView::Exclusive(_) => self.banks[b].dir_remove(block),
+                        DirView::Shared(set) => {
+                            let mut survivors = set.clone();
+                            survivors.remove(victim);
+                            if survivors.is_empty() {
+                                self.banks[b].dir_remove(block);
+                            } else {
+                                let _ =
+                                    self.banks[b].dir_install(block, DirView::Shared(survivors));
+                            }
+                        }
+                    }
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Clears a stash bit that covers a real hidden copy, making the
+    /// copy invisible to discovery (an I1/I2 coverage violation).
+    fn corrupt_stash_clear(&mut self) -> bool {
+        for b in 0..self.banks.len() {
+            for (block, line) in self.banks[b].llc_entries() {
+                if !line.stash || self.banks[b].dir_view(block) != DirView::Untracked {
+                    continue;
+                }
+                let hidden_copy_exists = self
+                    .privs
+                    .iter()
+                    .any(|p| p.state_of(block) != PrivState::Invalid);
+                if hidden_copy_exists {
+                    self.banks[b].set_stash_bit(block, false);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Sets a stash bit on a line the directory still tracks (a stash
+    /// discipline violation).
+    fn corrupt_stash_spurious(&mut self) -> bool {
+        for b in 0..self.banks.len() {
+            for (block, line) in self.banks[b].llc_entries() {
+                if line.stash || self.banks[b].dir_view(block) == DirView::Untracked {
+                    continue;
+                }
+                self.banks[b].set_stash_bit(block, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Renders the quiesce-time diagnostic snapshot: per-core pipeline
+    /// and cache state, per-bank directory view, in-flight messages and
+    /// the recent event trail.
+    fn diag_snapshot(&self, now: Cycle, reason: &str) -> Value {
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let hier = &self.privs[i];
+                let l2 = hier
+                    .l2_entries()
+                    .into_iter()
+                    .map(|(block, line)| {
+                        Value::object(vec![
+                            ("block".into(), block.get().into()),
+                            ("state".into(), format!("{:?}", line.state).into()),
+                            ("version".into(), line.version.into()),
+                        ])
+                    })
+                    .collect();
+                let l1 = hier
+                    .l1_blocks()
+                    .into_iter()
+                    .map(|b| b.get().into())
+                    .collect();
+                let wbs = hier
+                    .wb_entries()
+                    .into_iter()
+                    .map(|(block, entry)| {
+                        Value::object(vec![
+                            ("block".into(), block.get().into()),
+                            ("version".into(), entry.version.into()),
+                        ])
+                    })
+                    .collect();
+                Value::object(vec![
+                    ("core".into(), i.into()),
+                    ("pc".into(), core.pc.into()),
+                    ("trace_len".into(), core.trace.len().into()),
+                    (
+                        "pending".into(),
+                        core.pending
+                            .map_or(Value::Null, |op| format!("{op:?}").into()),
+                    ),
+                    ("ops_done".into(), core.ops_done.into()),
+                    (
+                        "last_retire".into(),
+                        self.last_retire
+                            .get(i)
+                            .copied()
+                            .unwrap_or(Cycle::ZERO)
+                            .get()
+                            .into(),
+                    ),
+                    ("finished".into(), core.finish.is_some().into()),
+                    ("l1_blocks".into(), Value::array(l1)),
+                    ("l2".into(), Value::array(l2)),
+                    ("writebacks".into(), Value::array(wbs)),
+                ])
+            })
+            .collect();
+        let banks = self
+            .banks
+            .iter()
+            .map(|bank| {
+                let dir = bank
+                    .dir_entries()
+                    .into_iter()
+                    .map(|(block, view)| {
+                        Value::object(vec![
+                            ("block".into(), block.get().into()),
+                            ("view".into(), format!("{view:?}").into()),
+                        ])
+                    })
+                    .collect();
+                let stash: Vec<Value> = bank
+                    .llc_entries()
+                    .into_iter()
+                    .filter(|(_, line)| line.stash)
+                    .map(|(block, _)| block.get().into())
+                    .collect();
+                Value::object(vec![
+                    ("bank".into(), bank.id().index().into()),
+                    ("dir".into(), Value::array(dir)),
+                    ("stash_bits".into(), Value::array(stash)),
+                    ("llc_lines".into(), bank.llc_entries().len().into()),
+                ])
+            })
+            .collect();
+        let in_flight = self
+            .queue
+            .pending()
+            .into_iter()
+            .map(|(t, event)| {
+                Value::object(vec![
+                    ("at".into(), t.get().into()),
+                    ("event".into(), format!("{event:?}").into()),
+                ])
+            })
+            .collect();
+        let recent = self
+            .recent_events
+            .iter()
+            .map(|line| Value::String(line.clone()))
+            .collect();
+        Value::object(vec![
+            ("schema".into(), "stashdir/diag-snapshot/v1".into()),
+            ("reason".into(), reason.into()),
+            ("cycle".into(), now.get().into()),
+            ("transactions".into(), self.transactions.into()),
+            ("cores".into(), Value::array(cores)),
+            ("banks".into(), Value::array(banks)),
+            ("in_flight".into(), Value::array(in_flight)),
+            ("recent_events".into(), Value::array(recent)),
+        ])
+    }
+
     // ---- core side ----
 
     fn handle_issue(&mut self, core: CoreId, now: Cycle) {
+        // Forward progress is observed at event-pop time: an Issue event
+        // means the core's previous operation retired. Marking it at the
+        // (future) completion's *schedule* time would blind the watchdog
+        // to the wait itself.
+        self.last_retire[core.index()] = now;
         let rt = &mut self.cores[core.index()];
         debug_assert!(rt.pending.is_none(), "{core} issued while blocked");
         let Some(&op) = rt.trace.get(rt.pc) else {
@@ -279,7 +671,7 @@ impl Machine {
                 rt.pending = Some(op);
                 rt.issue_time = t + latency;
                 let home = self.home(op.block);
-                let arrival = self.deliver(
+                let (arrival, duplicate) = self.deliver_faulty(
                     core.node(),
                     home.node(),
                     request.flits(),
@@ -295,6 +687,19 @@ impl Machine {
                         version: 0,
                     }),
                 );
+                if let Some(dup_arrival) = duplicate {
+                    // The fault hook duplicated the request in flight;
+                    // the copy arrives later as a spurious demand.
+                    self.queue.push(
+                        dup_arrival,
+                        Event::BankMsg(BankMsg {
+                            from: core,
+                            req: request,
+                            block: op.block,
+                            version: 0,
+                        }),
+                    );
+                }
             }
         }
     }
@@ -307,12 +712,24 @@ impl Machine {
         } else {
             self.process_demand(msg, now);
         }
+        if self.quiesced {
+            return;
+        }
         self.transactions += 1;
-        if self.cfg.check_interval > 0 && self.transactions.is_multiple_of(self.cfg.check_interval)
-        {
+        // State-corruption faults land between transactions — the same
+        // quiesced boundary the checker runs on — and force an immediate
+        // check so every applied corruption meets its detector.
+        let injected = self.faults.is_some() && self.inject_state_fault();
+        let periodic = self.cfg.check_interval > 0
+            && self.transactions.is_multiple_of(self.cfg.check_interval);
+        if injected || periodic {
             let problems = crate::checker::check(self, false);
+            let found = !problems.is_empty();
             for p in problems {
                 self.values.report(p);
+            }
+            if found && self.faults.is_some() {
+                self.detect_invariant(now, "invariant_violation");
             }
         }
     }
@@ -382,6 +799,35 @@ impl Machine {
         let bank_id = self.home(msg.block);
         let requester = msg.from;
         let block = msg.block;
+
+        // I8 (runtime, faulty runs): every demand must match a pending
+        // operation at its requester. A duplicated or spurious message
+        // fails this; detect and quiesce instead of corrupting state or
+        // panicking mid-handler.
+        if self.faults.is_some() {
+            let matches_pending = self.cores[requester.index()]
+                .pending
+                .is_some_and(|op| op.block == block);
+            if !matches_pending {
+                self.values.report(format!(
+                    "I8: {requester} has no pending op for {block} yet its {:?} reached the home (duplicated or spurious message)",
+                    msg.req
+                ));
+                self.detect_invariant(now, "spurious_demand");
+                return;
+            }
+        }
+
+        // StuckTransient: the per-block busy window sticks far in the
+        // future, so this transaction cannot serialize in bounded time —
+        // the requester's completion lands past the watchdog bound.
+        if self.roll_fault(FaultClass::StuckTransient) {
+            let stuck = self.faults.as_ref().map_or(0, |p| p.config().stuck_cycles);
+            self.banks[bank_id.index()].hold_block(block, now + stuck);
+            if let Some(plan) = self.faults.as_mut() {
+                plan.record_injection(FaultClass::StuckTransient);
+            }
+        }
 
         // Serialize: per-block window plus bank pipeline occupancy.
         let bank = &mut self.banks[bank_id.index()];
@@ -542,6 +988,16 @@ impl Machine {
             }
         };
         let fill_done = grant_arrival + self.cfg.l2.latency;
+        // DropGrant: the grant/fill vanishes in flight after the home
+        // finished its side; the requester keeps its pending operation
+        // forever (I6 at final check, or the watchdog on long runs).
+        if self.roll_fault(FaultClass::DropGrant) {
+            if let Some(plan) = self.faults.as_mut() {
+                plan.record_injection(FaultClass::DropGrant);
+            }
+            self.banks[bank_id.index()].hold_block(block, fill_done);
+            return;
+        }
         self.complete_demand(
             requester,
             msg.req,
@@ -907,12 +1363,27 @@ impl Machine {
         sink.put("machine.cycles", cycles as f64);
         sink.put("machine.ops", completed_ops as f64);
 
+        // Fold the network hook's injection counters into the plan's
+        // summary (the NoC counts its own delays/duplicates).
+        let (noc_delays, noc_dups) = self.net.fault_counts();
+        let (fault, snapshot) = match self.faults {
+            Some(plan) => {
+                let mut summary = plan.summary;
+                summary.injected_noc_delay += noc_delays;
+                summary.injected_noc_duplicate += noc_dups;
+                (summary, self.snapshot)
+            }
+            None => (crate::fault::FaultSummary::default(), None),
+        };
+
         SimReport {
             cycles,
             completed_ops,
             violations,
             sink,
             timeline: self.timeline,
+            fault,
+            snapshot,
         }
     }
 }
@@ -1358,5 +1829,200 @@ mod tests {
     #[should_panic(expected = "one trace per core")]
     fn trace_count_must_match_cores() {
         let _ = Machine::new(tiny(DirSpec::FullMap)).run(no_ops(2));
+    }
+
+    // ---- deterministic fault injection (the chaos layer) ----
+
+    use crate::fault::validate_snapshot;
+
+    /// Shared-traffic traces: every core reads and writes a small shared
+    /// set, so directory entries, sharer sets and exclusive owners all
+    /// exist for the corruptors to target.
+    fn sharing_traces() -> Vec<Vec<MemOp>> {
+        let mut traces = no_ops(4);
+        for (c, trace) in traces.iter_mut().enumerate() {
+            for round in 0..20u64 {
+                let b = BlockAddr::new(round % 5);
+                trace.push(MemOp::read(b).with_think(c as u32));
+                if c == 0 {
+                    trace.push(MemOp::write(b).with_think(3));
+                }
+            }
+        }
+        traces
+    }
+
+    /// Directory-thrashing traces: each core reads a private working set
+    /// that fits its L2 (distinct sets) but vastly exceeds the tiny stash
+    /// directory's reach, so entries are silently evicted with stash bits
+    /// while the copies stay live — the StashClear target.
+    fn thrashing_traces() -> Vec<Vec<MemOp>> {
+        let mut traces = no_ops(4);
+        for (c, trace) in traces.iter_mut().enumerate() {
+            for i in 0..8u64 {
+                trace.push(MemOp::read(BlockAddr::new(100 + c as u64 * 16 + i)));
+            }
+        }
+        traces
+    }
+
+    fn chaos_with(dir: DirSpec, class: FaultClass, traces: Vec<Vec<MemOp>>) -> crate::SimReport {
+        Machine::new(tiny(dir))
+            .with_faults(FaultConfig::for_class(class, 11))
+            .run(traces)
+    }
+
+    fn chaos(class: FaultClass, traces: Vec<Vec<MemOp>>) -> crate::SimReport {
+        chaos_with(DirSpec::stash(CoverageRatio::new(1, 8)), class, traces)
+    }
+
+    /// A 2-way stash directory: per-bank capacity 2, so the thrashing
+    /// traces force silent (stash-bit) evictions of entries whose copies
+    /// are still L2-resident.
+    fn tight_stash() -> DirSpec {
+        DirSpec::Stash {
+            coverage: CoverageRatio::new(1, 8),
+            assoc: 2,
+            repl: DirReplPolicy::PrivateFirstLru,
+        }
+    }
+
+    #[test]
+    fn sharer_flip_is_detected_by_the_checker() {
+        let report = chaos(FaultClass::SharerFlip, sharing_traces());
+        assert_eq!(report.fault.injected_sharer_flip, 1);
+        assert!(report.fault.detected_invariant >= 1, "{:?}", report.fault);
+        assert_eq!(report.fault.quiesced, 1);
+        assert!(!report.violations.is_empty());
+        assert!(report.snapshot.is_some());
+    }
+
+    #[test]
+    fn stash_clear_is_detected_by_the_checker() {
+        let report = chaos_with(tight_stash(), FaultClass::StashClear, thrashing_traces());
+        assert_eq!(report.fault.injected_stash_clear, 1, "{:?}", report.fault);
+        assert!(report.fault.detected_invariant >= 1, "{:?}", report.fault);
+        assert_eq!(report.fault.quiesced, 1);
+    }
+
+    #[test]
+    fn stash_spurious_is_detected_by_the_checker() {
+        let report = chaos(FaultClass::StashSpurious, sharing_traces());
+        assert_eq!(report.fault.injected_stash_spurious, 1);
+        assert!(report.fault.detected_invariant >= 1, "{:?}", report.fault);
+    }
+
+    #[test]
+    fn drop_grant_is_detected_at_final_check() {
+        let report = chaos(FaultClass::DropGrant, sharing_traces());
+        assert_eq!(report.fault.injected_drop_grant, 1);
+        assert!(report.fault.detected_invariant >= 1, "{:?}", report.fault);
+        assert!(
+            report.violations.iter().any(|v| v.starts_with("I6")),
+            "{:?}",
+            report.violations
+        );
+        assert!(report.snapshot.is_some());
+    }
+
+    #[test]
+    fn noc_delay_trips_the_watchdog() {
+        let report = chaos(FaultClass::NocDelay, sharing_traces());
+        assert_eq!(report.fault.injected_noc_delay, 1);
+        assert!(report.fault.detected_watchdog >= 1, "{:?}", report.fault);
+        assert_eq!(report.fault.quiesced, 1);
+        assert!(
+            report.violations.iter().any(|v| v.starts_with("Stall")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn noc_duplicate_is_detected_as_a_spurious_demand() {
+        let report = chaos(FaultClass::NocDuplicate, sharing_traces());
+        assert_eq!(report.fault.injected_noc_duplicate, 1);
+        assert!(report.fault.detected_invariant >= 1, "{:?}", report.fault);
+        assert!(
+            report.violations.iter().any(|v| v.starts_with("I8")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn stuck_transient_trips_the_watchdog() {
+        let report = chaos(FaultClass::StuckTransient, sharing_traces());
+        assert_eq!(report.fault.injected_stuck_transient, 1);
+        assert!(report.fault.detected_watchdog >= 1, "{:?}", report.fault);
+        assert_eq!(report.fault.quiesced, 1);
+    }
+
+    #[test]
+    fn every_fault_class_is_caught_by_its_expected_detector() {
+        use crate::fault::expected_detector;
+        for &class in FaultClass::ALL {
+            let report = if class == FaultClass::StashClear {
+                chaos_with(tight_stash(), class, thrashing_traces())
+            } else {
+                chaos(class, sharing_traces())
+            };
+            assert!(
+                report.fault.injected_total() >= 1,
+                "{class:?}: nothing injected"
+            );
+            let caught = match expected_detector(class) {
+                Detector::Invariant => report.fault.detected_invariant,
+                Detector::Watchdog => report.fault.detected_watchdog,
+            };
+            assert!(
+                caught >= 1,
+                "{class:?} escaped its expected detector: {:?}",
+                report.fault
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_the_published_schema() {
+        let report = chaos(FaultClass::SharerFlip, sharing_traces());
+        let text = report.snapshot.expect("faulty run dumps a snapshot");
+        let value = Value::parse(&text).expect("snapshot is valid JSON");
+        validate_snapshot(&value).expect("snapshot matches schema");
+        assert_eq!(
+            value.get("reason").and_then(Value::as_str),
+            Some("invariant_violation")
+        );
+    }
+
+    #[test]
+    fn disabled_fault_layer_changes_nothing() {
+        let plain =
+            Machine::new(tiny(DirSpec::stash(CoverageRatio::new(1, 8)))).run(sharing_traces());
+        let threaded = Machine::new(tiny(DirSpec::stash(CoverageRatio::new(1, 8))))
+            .with_faults(FaultConfig::disabled())
+            .run(sharing_traces());
+        plain.assert_clean();
+        threaded.assert_clean();
+        assert_eq!(plain.cycles, threaded.cycles);
+        assert_eq!(plain.completed_ops, threaded.completed_ops);
+        assert_eq!(plain.sink, threaded.sink);
+        assert_eq!(plain.fault, threaded.fault);
+        assert_eq!(threaded.fault, Default::default());
+        assert_eq!(threaded.snapshot, None);
+    }
+
+    #[test]
+    fn armed_watchdog_stays_quiet_on_a_healthy_run() {
+        let cfg = FaultConfig {
+            watchdog_bound: 1_000_000,
+            ..FaultConfig::disabled()
+        };
+        let report = Machine::new(tiny(DirSpec::stash(CoverageRatio::new(1, 8))))
+            .with_faults(cfg)
+            .run(sharing_traces());
+        report.assert_clean();
+        assert_eq!(report.fault.detected_watchdog, 0);
+        assert_eq!(report.fault.quiesced, 0);
     }
 }

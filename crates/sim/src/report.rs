@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use crate::fault::FaultSummary;
 use serde::{Deserialize, Serialize};
 use stashdir_common::StatSink;
 
@@ -56,6 +57,14 @@ pub struct SimReport {
     /// Periodic samples of the run (empty unless the configuration set a
     /// timeline interval).
     pub timeline: Vec<TimelineSample>,
+    /// Fault-injection and detection accounting (all zeros unless the
+    /// run was built with [`Machine::with_faults`]).
+    ///
+    /// [`Machine::with_faults`]: crate::Machine::with_faults
+    pub fault: FaultSummary,
+    /// Diagnostic snapshot (canonical JSON) dumped when a faulty run
+    /// quiesced on a violation or stall; `None` on normal runs.
+    pub snapshot: Option<String>,
 }
 
 impl SimReport {
@@ -131,6 +140,8 @@ mod tests {
             violations: Vec::new(),
             sink,
             timeline: Vec::new(),
+            fault: FaultSummary::default(),
+            snapshot: None,
         }
     }
 

@@ -67,5 +67,8 @@ pub use stashdir_core::{
     CostParams, CuckooDirectory, DirConfig, DirReplPolicy, DirectoryModel, EnergyCounts,
     EnergyModel, EvictionAction, FullMapDirectory, SharerFormat, SparseDirectory, StashDirectory,
 };
-pub use stashdir_sim::{CoverageRatio, DirSpec, Machine, SimReport, SystemConfig};
+pub use stashdir_sim::{
+    expected_detector, CoverageRatio, Detector, DirSpec, FaultClass, FaultConfig, FaultPlan,
+    FaultSummary, Machine, SimReport, SystemConfig, TAXONOMY,
+};
 pub use stashdir_workloads::{Characterization, Workload};
