@@ -33,4 +33,15 @@ echo "$chaos_out" | grep -qF \
 echo "== cargo test -q --offline"
 cargo test -q --workspace --offline
 
+# Hot-path benchmark gate (opt-in: STASHDIR_BENCH=1). Compares the
+# microbench medians against the committed BENCH_sim_hotpath.json and
+# fails on >10% regression; also re-asserts the ≥20% event-dispatch /
+# stat-bump improvement. Off by default so CI stays fast and immune to
+# shared-host timing noise; refresh the baseline with
+#   cargo bench -p stashdir-bench --bench hotpath -- --record
+if [[ "${STASHDIR_BENCH:-0}" == "1" ]]; then
+  echo "== bench gate (hotpath --check)"
+  cargo bench -q -p stashdir-bench --bench hotpath --offline -- --check
+fi
+
 echo "CI OK"

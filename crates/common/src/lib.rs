@@ -22,6 +22,7 @@
 
 pub mod addr;
 pub mod cycles;
+pub mod fxhash;
 pub mod ids;
 pub mod json;
 pub mod ops;
@@ -31,8 +32,9 @@ pub mod stats;
 
 pub use addr::{Addr, BlockAddr, BlockGeometry};
 pub use cycles::Cycle;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BankId, CoreId, NodeId};
 pub use ops::{MemOp, MemOpKind};
 pub use rng::DetRng;
 pub use sharers::SharerSet;
-pub use stats::{Counter, Histogram, StatSink};
+pub use stats::{Counter, Histogram, StatId, StatSink};

@@ -177,10 +177,35 @@ impl Histogram {
     }
 }
 
-/// An ordered name→value map of exported statistics.
+/// An interned statistic identifier: an index into a [`StatSink`]'s
+/// value table, handed out once by [`StatSink::register`] and valid for
+/// the sink that produced it (and for clones of that sink).
+///
+/// Hot paths bump stats through ids — one bounds-checked array access —
+/// instead of hashing/comparing a `String` key per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatId(u32);
+
+impl StatId {
+    /// The raw table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An ordered name→value table of exported statistics.
 ///
 /// Keys use dotted paths (`"llc.0.discoveries"`). Values are `f64` so
 /// counters and derived ratios live in the same table.
+///
+/// Internally the sink is *interned*: each key is registered once into a
+/// name table and its value lives in a dense `Vec<f64>` indexed by
+/// [`StatId`], so the bump path ([`StatSink::bump`]) touches no strings
+/// and allocates nothing. Names are only resolved at export time
+/// ([`StatSink::iter`], [`StatSink::to_csv`]), which still yields
+/// entries in sorted key order — the string-keyed API (`put`/`get`) is a
+/// thin compatibility shim over registration, so artifact and CSV output
+/// are unchanged from the `BTreeMap<String, f64>` era.
 ///
 /// # Examples
 ///
@@ -191,10 +216,22 @@ impl Histogram {
 /// sink.put("dir.silent", 9.0);
 /// assert_eq!(sink.get("dir.silent"), Some(9.0));
 /// assert_eq!(sink.to_csv().lines().count(), 3); // header + 2 rows
+///
+/// // The interned hot path: register once, bump by id.
+/// let id = sink.register("bank.events");
+/// for _ in 0..3 {
+///     sink.bump(id, 1.0);
+/// }
+/// assert_eq!(sink.get("bank.events"), Some(3.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatSink {
-    values: BTreeMap<String, f64>,
+    /// Interned key table, id-indexed (registration order).
+    names: Vec<String>,
+    /// Dense value table, id-indexed — the hot bump/set path.
+    values: Vec<f64>,
+    /// Sorted name→id index: compat lookups and key-ordered export.
+    index: BTreeMap<String, u32>,
 }
 
 impl StatSink {
@@ -203,9 +240,76 @@ impl StatSink {
         StatSink::default()
     }
 
-    /// Stores a value, replacing any previous value under `key`.
+    /// Interns `key`, returning its id. Registering an unseen key
+    /// creates its entry at `0.0`; re-registering returns the existing
+    /// id. Call once at setup, then [`bump`]/[`set`] by id in the loop.
+    ///
+    /// [`bump`]: StatSink::bump
+    /// [`set`]: StatSink::set
+    pub fn register(&mut self, key: impl Into<String>) -> StatId {
+        let key = key.into();
+        if let Some(&id) = self.index.get(&key) {
+            return StatId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(key.clone());
+        self.values.push(0.0);
+        self.index.insert(key, id);
+        StatId(id)
+    }
+
+    /// The id of an already-registered key.
+    pub fn id_of(&self, key: &str) -> Option<StatId> {
+        self.index.get(key).copied().map(StatId)
+    }
+
+    /// The name a [`StatId`] was registered under.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` did not come from this sink (or a clone of it).
+    pub fn name_of(&self, id: StatId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Adds `delta` to an interned stat: the allocation-free hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` did not come from this sink (or a clone of it).
+    #[inline]
+    pub fn bump(&mut self, id: StatId, delta: f64) {
+        self.values[id.index()] += delta;
+    }
+
+    /// Overwrites an interned stat's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` did not come from this sink (or a clone of it).
+    #[inline]
+    pub fn set(&mut self, id: StatId, value: f64) {
+        self.values[id.index()] = value;
+    }
+
+    /// Reads an interned stat's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` did not come from this sink (or a clone of it).
+    #[inline]
+    pub fn value(&self, id: StatId) -> f64 {
+        self.values[id.index()]
+    }
+
+    /// Stores a value, replacing any previous value under `key` (compat
+    /// shim over [`register`] + [`set`]).
+    ///
+    /// [`register`]: StatSink::register
+    /// [`set`]: StatSink::set
     pub fn put(&mut self, key: impl Into<String>, value: f64) {
-        self.values.insert(key.into(), value);
+        let id = self.register(key);
+        self.set(id, value);
     }
 
     /// Stores a counter under `key`.
@@ -215,7 +319,7 @@ impl StatSink {
 
     /// Fetches a value.
     pub fn get(&self, key: &str) -> Option<f64> {
-        self.values.get(key).copied()
+        self.index.get(key).map(|&id| self.values[id as usize])
     }
 
     /// Fetches a value, defaulting to zero when absent.
@@ -225,43 +329,73 @@ impl StatSink {
 
     /// Iterates `(key, value)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+        self.index
+            .iter()
+            .map(|(k, &id)| (k.as_str(), self.values[id as usize]))
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.index.len()
     }
 
     /// `true` when nothing has been exported yet.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.index.is_empty()
     }
 
-    /// Merges another sink, adding values for keys present in both.
-    pub fn merge_add(&mut self, other: &StatSink) {
-        for (k, v) in &other.values {
-            *self.values.entry(k.clone()).or_insert(0.0) += v;
+    /// Merges another sink into this one, *adding* values key-wise:
+    /// keys present in both sum, keys only in `other` are registered
+    /// here first. This is the shard-combining primitive — per-thread or
+    /// per-component shard sinks fold into one total, and
+    /// shard-then-merge equals accumulating into a single sink.
+    pub fn merge(&mut self, other: &StatSink) {
+        for (name, &oid) in &other.index {
+            let id = match self.index.get(name) {
+                Some(&id) => id,
+                None => {
+                    let id = self.names.len() as u32;
+                    self.names.push(name.clone());
+                    self.values.push(0.0);
+                    self.index.insert(name.clone(), id);
+                    id
+                }
+            };
+            self.values[id as usize] += other.values[oid as usize];
         }
+    }
+
+    /// Merges another sink, adding values for keys present in both
+    /// (alias of [`StatSink::merge`], kept for source compatibility).
+    pub fn merge_add(&mut self, other: &StatSink) {
+        self.merge(other);
     }
 
     /// Renders `key,value` CSV with a header row.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("stat,value\n");
-        for (k, v) in &self.values {
+        for (k, v) in self.iter() {
             out.push_str(k);
             out.push(',');
-            out.push_str(&format_stat(*v));
+            out.push_str(&format_stat(v));
             out.push('\n');
         }
         out
     }
 }
 
+/// Logical equality: same key→value mapping, regardless of the interning
+/// (registration) order the two sinks happened to use.
+impl PartialEq for StatSink {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
 impl fmt::Display for StatSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.values {
-            writeln!(f, "{k:<48} {}", format_stat(*v))?;
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:<48} {}", format_stat(v))?;
         }
         Ok(())
     }
@@ -407,5 +541,76 @@ mod tests {
         assert_eq!(a.get("y"), Some(3.0));
         assert_eq!(a.len(), 2);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_bumpable() {
+        let mut sink = StatSink::new();
+        let hits = sink.register("hits");
+        let misses = sink.register("misses");
+        assert_ne!(hits, misses);
+        assert_eq!(sink.register("hits"), hits, "re-registering is idempotent");
+        assert_eq!(sink.id_of("hits"), Some(hits));
+        assert_eq!(sink.id_of("zzz"), None);
+        assert_eq!(sink.name_of(misses), "misses");
+        assert_eq!(sink.get("hits"), Some(0.0), "registered starts at zero");
+        for _ in 0..5 {
+            sink.bump(hits, 1.0);
+        }
+        sink.set(misses, 2.0);
+        assert_eq!(sink.value(hits), 5.0);
+        assert_eq!(sink.get("misses"), Some(2.0));
+    }
+
+    #[test]
+    fn export_order_is_key_sorted_not_registration_order() {
+        let mut sink = StatSink::new();
+        sink.register("z.last");
+        sink.register("a.first");
+        sink.put("m.middle", 1.0);
+        let keys: Vec<&str> = sink.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a.first", "m.middle", "z.last"]);
+        assert_eq!(
+            sink.to_csv(),
+            "stat,value\na.first,0\nm.middle,1\nz.last,0\n"
+        );
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        let mut a = StatSink::new();
+        a.put("x", 1.0);
+        a.put("y", 2.0);
+        let mut b = StatSink::new();
+        b.put("y", 2.0);
+        b.put("x", 1.0);
+        assert_eq!(a, b);
+        b.put("x", 9.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shard_then_merge_equals_single_sink() {
+        // The sharding contract: splitting bumps across shard sinks and
+        // merging gives the same table as one sink taking every bump.
+        let mut single = StatSink::new();
+        let mut shard_a = StatSink::new();
+        let mut shard_b = StatSink::new();
+        for (key, delta) in [("n.a", 1.0), ("n.b", 2.0), ("n.a", 3.0), ("n.c", 4.0)] {
+            let id = single.register(key);
+            single.bump(id, delta);
+        }
+        for (key, delta) in [("n.a", 1.0), ("n.c", 4.0)] {
+            let id = shard_a.register(key);
+            shard_a.bump(id, delta);
+        }
+        for (key, delta) in [("n.b", 2.0), ("n.a", 3.0)] {
+            let id = shard_b.register(key);
+            shard_b.bump(id, delta);
+        }
+        let mut merged = StatSink::new();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(merged, single);
     }
 }

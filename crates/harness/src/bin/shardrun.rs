@@ -1,0 +1,111 @@
+//! Runs one logical case as seed-replica shards across the worker pool
+//! and prints the merged report — the sharded-run path for the E9-style
+//! big-machine points whose single-threaded runs dominate sweep
+//! wall-clock.
+//!
+//! ```sh
+//! # A 64-core E9 stash point split into 8 shards over all host cores:
+//! cargo run --release -p stashdir-harness --bin shardrun -- \
+//!     --cores 64 --dir stash8 --workload stencil --shards 8
+//! ```
+//!
+//! The merged report uses the [`stashdir_harness::shard`] semantics
+//! (counters summed exactly, ratios recomputed, means weighted); it is
+//! a different estimator than one long run, so its output is written as
+//! `shard_<id>.json`, never into the canonical `cases/` artifacts.
+
+use stashdir::{CoverageRatio, DirSpec, SystemConfig, Workload};
+use stashdir_harness::artifact;
+use stashdir_harness::shard::run_case_sharded;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: shardrun [options]\n\
+     \x20 --cores <n>          machine size (default 64)\n\
+     \x20 --dir <spec>         fullmap | sparse8 | stash8 (default stash8)\n\
+     \x20 --workload <w>       dataparallel | stencil | migratory (default stencil)\n\
+     \x20 --ops <n>            total ops per core across shards (default 2000)\n\
+     \x20 --seed <n>           base workload seed (default 7)\n\
+     \x20 --shards <n>         seed replicas to run concurrently (default 4)\n\
+     \x20 --jobs <n>           pool workers, 0 = all cores (default 0)\n\
+     \x20 --out <path>         write the merged report JSON here"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let mut cores: u16 = 64;
+    let mut dir = "stash8".to_string();
+    let mut workload = "stencil".to_string();
+    let mut ops: usize = 2000;
+    let mut seed: u64 = 7;
+    let mut shards: usize = 4;
+    let mut jobs: usize = 0;
+    let mut out: Option<String> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value\n{}", usage());
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--cores" => cores = take("--cores").parse().unwrap_or(64),
+            "--dir" => dir = take("--dir"),
+            "--workload" => workload = take("--workload"),
+            "--ops" => ops = take("--ops").parse().unwrap_or(2000),
+            "--seed" => seed = take("--seed").parse().unwrap_or(7),
+            "--shards" => shards = take("--shards").parse().unwrap_or(4).max(1),
+            "--jobs" => jobs = take("--jobs").parse().unwrap_or(0),
+            "--out" => out = Some(take("--out")),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let dir_spec = match dir.as_str() {
+        "fullmap" => DirSpec::FullMap,
+        "sparse8" => DirSpec::sparse(CoverageRatio::new(1, 8)),
+        "stash8" => DirSpec::stash(CoverageRatio::new(1, 8)),
+        other => {
+            eprintln!("unknown --dir {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let wl = match workload.as_str() {
+        "dataparallel" => Workload::DataParallel,
+        "stencil" => Workload::Stencil,
+        "migratory" => Workload::Migratory,
+        other => {
+            eprintln!("unknown --workload {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = SystemConfig::default().with_cores(cores).with_dir(dir_spec);
+    let report = run_case_sharded(config, wl, ops, seed, shards, jobs);
+
+    println!(
+        "shardrun: {cores} cores, {dir}, {workload}, {ops} ops x {shards} shards -> \
+         cycles={} ops={} l1.miss_rate={:.4}",
+        report.cycles,
+        report.completed_ops,
+        report.stat("l1.miss_rate"),
+    );
+    if let Some(path) = out {
+        let json = artifact::report_to_json(&report).render_pretty();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("shardrun: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("shardrun: merged report written to {path}");
+    }
+    ExitCode::SUCCESS
+}

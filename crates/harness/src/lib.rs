@@ -42,6 +42,7 @@ pub mod plan;
 pub mod pool;
 pub mod progress;
 pub mod runner;
+pub mod shard;
 pub mod table;
 
 pub use experiments::{registry, Experiment, ResultSet};

@@ -1,0 +1,248 @@
+//! Sharded execution of one logical case across pool threads.
+//!
+//! The discrete-event inner loop is inherently serial — one run is one
+//! thread — but a *measurement* need not be one run. A sharded case
+//! splits its per-core op budget into `shards` seed replicas of the
+//! same machine/workload, runs the replicas concurrently on the worker
+//! pool, and folds their reports into a single [`SimReport`] with
+//! [`StatSink::merge`]. This is how a 64-core E9 point, the wall-clock
+//! hog of the full sweep, can use every worker the pool has instead of
+//! pinning one.
+//!
+//! # Merge semantics
+//!
+//! - **Counters** (hits, misses, messages, flits, …) are summed by
+//!   [`StatSink::merge`] — exact.
+//! - **Ratios** (`l1/l2/llc.miss_rate`) are recomputed from the summed
+//!   counters — exact.
+//! - **`machine.cycles`** is the max across replicas: the makespan
+//!   reading of a set of runs that would execute in parallel.
+//! - **Means** (`core.mean_miss_latency`, `noc.mean_latency`,
+//!   `bank.mean_discovery_latency`) are combined as weighted means
+//!   using the matching sample-count key; `core.p95_miss_latency`,
+//!   `bank.mean_inv_round_size` and `dir.occupancy_final` have no
+//!   exact combination from per-replica summaries and are combined as
+//!   (weighted or plain) replica means — an approximation, which is
+//!   why sharding is opt-in and the canonical E1–E17 artifacts always
+//!   come from single runs.
+//! - **`dir.storage_bits`** is a configuration property, identical in
+//!   every replica; the merged report keeps it unchanged.
+//!
+//! Replicas are deterministic: shard `i` perturbs the workload seed by
+//! a fixed odd stride, so the same `(config, workload, params, shards)`
+//! always reproduces the same merged report, byte for byte.
+
+use crate::plan::CaseSpec;
+use crate::pool::{run_cases, CaseStatus, RunOptions};
+use stashdir::{SimReport, StatSink, SystemConfig, Workload};
+
+/// Odd seed stride between shard replicas (any odd constant walks the
+/// full 2^64 seed space without collisions).
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Keys whose merged value is a weighted mean, with the key providing
+/// the weight (the sample count that produced the mean).
+const WEIGHTED_MEANS: &[(&str, &str)] = &[
+    ("core.mean_miss_latency", "core.misses"),
+    ("core.p95_miss_latency", "core.misses"),
+    ("bank.mean_discovery_latency", "bank.discoveries"),
+    ("noc.mean_latency", "noc.total_messages"),
+];
+
+/// Keys whose merged value is the plain replica mean (no meaningful
+/// weight is exported).
+const REPLICA_MEANS: &[&str] = &["bank.mean_inv_round_size", "dir.occupancy_final"];
+
+/// Keys identical across replicas of one configuration; the merge keeps
+/// a single copy instead of a sum.
+const CONFIG_CONSTANTS: &[&str] = &["dir.storage_bits"];
+
+/// Folds shard replica reports into one merged report.
+///
+/// Returns `None` for an empty slice. See the module docs for the
+/// per-key semantics.
+pub fn merge_shard_reports(shards: &[SimReport]) -> Option<SimReport> {
+    let first = shards.first()?;
+    let mut sink = StatSink::new();
+    for r in shards {
+        sink.merge(&r.sink);
+    }
+
+    // Exact fix-ups: ratios from summed counters.
+    for prefix in ["l1", "l2", "llc"] {
+        let miss_key = format!("{prefix}.miss_rate");
+        if sink.get(&miss_key).is_none() {
+            continue;
+        }
+        let misses = sink.get_or_zero(&format!("{prefix}.misses"));
+        let total = sink.get_or_zero(&format!("{prefix}.hits")) + misses;
+        let rate = if total == 0.0 { 0.0 } else { misses / total };
+        sink.put(miss_key, rate);
+    }
+
+    for &(key, weight_key) in WEIGHTED_MEANS {
+        if sink.get(key).is_none() {
+            continue;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for r in shards {
+            if r.sink.get(key).is_some() {
+                let w = r.sink.get_or_zero(weight_key);
+                num += r.sink.get_or_zero(key) * w;
+                den += w;
+            }
+        }
+        sink.put(key, if den == 0.0 { 0.0 } else { num / den });
+    }
+
+    for &key in REPLICA_MEANS {
+        if sink.get(key).is_none() {
+            continue;
+        }
+        let present: Vec<f64> = shards.iter().filter_map(|r| r.sink.get(key)).collect();
+        sink.put(key, present.iter().sum::<f64>() / present.len() as f64);
+    }
+
+    for &key in CONFIG_CONSTANTS {
+        if let Some(v) = first.sink.get(key) {
+            sink.put(key, v);
+        }
+    }
+
+    let cycles = shards.iter().map(|r| r.cycles).max().unwrap_or(0);
+    let completed_ops = shards.iter().map(|r| r.completed_ops).sum();
+    sink.put("machine.cycles", cycles as f64);
+    sink.put("machine.ops", completed_ops as f64);
+
+    Some(SimReport {
+        cycles,
+        completed_ops,
+        violations: shards.iter().flat_map(|r| r.violations.clone()).collect(),
+        sink,
+        // Timeline samples are per-run diagnostics; a merged timeline
+        // would interleave unrelated clocks, so sharded reports carry
+        // none.
+        timeline: Vec::new(),
+        fault: Default::default(),
+        snapshot: shards.iter().find_map(|r| r.snapshot.clone()),
+    })
+}
+
+/// Runs one logical case as `shards` concurrent seed replicas on the
+/// worker pool and merges their reports.
+///
+/// The per-core op budget is split evenly (the last shard absorbs the
+/// remainder), so the merged `machine.ops` matches a single run of
+/// `params_ops` within rounding of the trace generator.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or any replica fails (a coherence violation
+/// in any shard is a real violation of the configuration under test).
+pub fn run_case_sharded(
+    config: SystemConfig,
+    workload: Workload,
+    ops: usize,
+    seed: u64,
+    shards: usize,
+    jobs: usize,
+) -> SimReport {
+    assert!(shards > 0, "need at least one shard");
+    let base = ops / shards;
+    let specs: Vec<CaseSpec> = (0..shards)
+        .map(|i| {
+            let shard_ops = if i == shards - 1 {
+                ops - base * (shards - 1)
+            } else {
+                base
+            };
+            CaseSpec::new(
+                config.clone(),
+                workload,
+                shard_ops,
+                seed.wrapping_add(SHARD_SEED_STRIDE.wrapping_mul(i as u64)),
+            )
+        })
+        .collect();
+    let outcomes = run_cases(
+        &specs,
+        &RunOptions {
+            jobs,
+            ..RunOptions::default()
+        },
+    );
+    let reports: Vec<SimReport> = outcomes
+        .into_iter()
+        .map(|o| {
+            assert!(
+                o.status == CaseStatus::Completed,
+                "shard {} failed: {}",
+                o.spec.id(),
+                o.error.unwrap_or_default()
+            );
+            o.report.expect("completed case carries a report")
+        })
+        .collect();
+    merge_shard_reports(&reports).expect("shards > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::machine_with;
+    use stashdir::DirSpec;
+
+    fn report_for(ops: usize, seed: u64) -> SimReport {
+        crate::params::run_case(
+            machine_with(DirSpec::FullMap),
+            Workload::DataParallel,
+            crate::params::Params { ops, seed },
+        )
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_sums_counters() {
+        let a = report_for(60, 11);
+        let b = report_for(60, 12);
+        let merged = merge_shard_reports(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged.completed_ops, a.completed_ops + b.completed_ops);
+        assert_eq!(merged.cycles, a.cycles.max(b.cycles));
+        assert_eq!(
+            merged.stat("l1.misses"),
+            a.stat("l1.misses") + b.stat("l1.misses")
+        );
+        // Ratio recomputed from totals, not summed.
+        let misses = merged.stat("l1.misses");
+        let total = merged.stat("l1.hits") + misses;
+        assert_eq!(merged.stat("l1.miss_rate"), misses / total);
+        assert!(merged.stat("l1.miss_rate") <= 1.0);
+        // Config constant survives un-multiplied.
+        assert_eq!(merged.stat("dir.storage_bits"), a.stat("dir.storage_bits"));
+        // Determinism: merging the same reports again is identical.
+        let again = merge_shard_reports(&[a, b]).unwrap();
+        assert_eq!(merged.sink, again.sink);
+    }
+
+    #[test]
+    fn sharded_run_reproduces_and_covers_the_op_budget() {
+        let run = || {
+            run_case_sharded(
+                machine_with(DirSpec::stash(stashdir::CoverageRatio::new(1, 2))),
+                Workload::Stencil,
+                90,
+                7,
+                3,
+                2,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sink, b.sink, "sharded runs are deterministic");
+        assert_eq!(a.cycles, b.cycles);
+        assert!(a.violations.is_empty());
+        // 3 shards × 30 ops × cores — every op the budget asked for.
+        let cores = machine_with(DirSpec::FullMap).cores as u64;
+        assert_eq!(a.completed_ops, 90 * cores);
+    }
+}

@@ -44,7 +44,8 @@ pub struct MatchExpr {
     pub line: u32,
 }
 
-fn matching_close(toks: &[Tok], open_idx: usize) -> Option<usize> {
+/// Index of the delimiter closing the one opened at `open_idx`.
+pub(crate) fn matching_close(toks: &[Tok], open_idx: usize) -> Option<usize> {
     let (open, close) = match toks[open_idx].text.as_str() {
         "{" => ("{", "}"),
         "(" => ("(", ")"),

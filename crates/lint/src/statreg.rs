@@ -8,7 +8,7 @@
 //! textual on purpose: a field is "registered" when its identifier
 //! occurs in the registry function's body.
 
-use crate::arms::{extract_struct_fields, find_fn_body};
+use crate::arms::{extract_struct_fields, find_fn_body, matching_close};
 use crate::lexer::{code_only, lex, Tok, TokKind};
 use crate::{Finding, RULE_COVERAGE_PARSE, RULE_STAT_UNREGISTERED};
 use std::io;
@@ -83,18 +83,60 @@ pub const RULES: &[RegRule] = &[
         struct_name: "Histogram",
         registries: &[Registry {
             file: "crates/common/src/stats.rs",
-            function: "merge",
+            function: "Histogram::merge",
         }],
     },
     RegRule {
         struct_file: "crates/common/src/stats.rs",
         struct_name: "StatSink",
+        // The interned sink's registration site is `merge`: it is the
+        // one function every shard's counters funnel through before the
+        // artifact writer serializes the merged sink, and its body
+        // touches every field (the intern tables *and* the value
+        // vector), so a field added without merge support fails here.
         registries: &[Registry {
             file: "crates/common/src/stats.rs",
-            function: "merge_add",
+            function: "StatSink::merge",
         }],
     },
 ];
+
+/// Resolves a registry function name to its body tokens.
+///
+/// A plain `name` matches the first `fn name` in the file. A qualified
+/// `Type::name` restricts the search to inherent `impl Type { .. }`
+/// blocks, so two types in one file can both register through a method
+/// with the same name (e.g. `Histogram::merge` vs `StatSink::merge`
+/// in `stats.rs` after the interned-sink rework).
+fn find_registry_fn_body<'a>(toks: &'a [Tok], name: &str) -> Option<&'a [Tok]> {
+    let Some((type_name, fn_name)) = name.split_once("::") else {
+        return find_fn_body(toks, name);
+    };
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        // An inherent impl lexes as `impl Type {`; trait impls
+        // (`impl Trait for Type`) put the trait name after `impl` and
+        // are skipped, which is what we want — registration sites are
+        // inherent methods.
+        if toks[i].is_ident("impl") && toks[i + 1].is_ident(type_name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") {
+                j += 1;
+            }
+            if j < toks.len() {
+                if let Some(close) = matching_close(toks, j) {
+                    if let Some(body) = find_fn_body(&toks[j + 1..close], fn_name) {
+                        return Some(body);
+                    }
+                    i = close;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
 
 /// Checks one struct's fields against one registry function body; both
 /// arguments are pre-lexed, comment-free token streams.
@@ -116,7 +158,7 @@ pub fn check_registration(
         });
         return findings;
     };
-    let Some(body) = find_fn_body(registry_toks, registry_fn) else {
+    let Some(body) = find_registry_fn_body(registry_toks, registry_fn) else {
         findings.push(Finding {
             rule: RULE_COVERAGE_PARSE.to_string(),
             file: registry_file.to_string(),
@@ -197,5 +239,34 @@ mod tests {
         let s = code_only(&lex("pub struct R { a: u64, b: u64 }"));
         let r = code_only(&lex("fn m(x: &mut R, y: &R) { x.a += y.a; x.b |= y.b; }"));
         assert!(check_registration(&s, "R", "s.rs", &r, "r.rs", "m").is_empty());
+    }
+
+    #[test]
+    fn qualified_name_picks_the_right_impl_block() {
+        // Two types with same-named `merge` methods in one file: the
+        // bare name would always resolve to A's, silently checking the
+        // wrong body for B.
+        let src = "
+            pub struct A { x: u64 }
+            pub struct B { y: u64, z: u64 }
+            impl A { fn merge(&mut self, o: &A) { self.x += o.x; } }
+            impl Clone for B { fn clone(&self) -> B { todo!() } }
+            impl B { fn merge(&mut self, o: &B) { self.y += o.y; } }
+        ";
+        let toks = code_only(&lex(src));
+        let f = check_registration(&toks, "B", "s.rs", &toks, "s.rs", "B::merge");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("B.z"));
+        assert!(check_registration(&toks, "A", "s.rs", &toks, "s.rs", "A::merge").is_empty());
+    }
+
+    #[test]
+    fn qualified_name_missing_method_is_a_parse_finding() {
+        let toks = code_only(&lex(
+            "pub struct A { x: u64 } impl A { fn other(&self) {} }",
+        ));
+        let f = check_registration(&toks, "A", "s.rs", &toks, "s.rs", "A::merge");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].rule == crate::RULE_COVERAGE_PARSE);
     }
 }

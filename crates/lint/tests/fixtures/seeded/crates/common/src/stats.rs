@@ -14,11 +14,17 @@ impl Histogram {
 }
 
 pub struct StatSink {
-    pub counters: Vec<(String, u64)>,
+    pub names: Vec<String>,
+    pub values: Vec<f64>,
+    pub index: Vec<(String, u32)>,
 }
 
 impl StatSink {
-    pub fn merge_add(&mut self, other: &StatSink) {
-        self.counters.extend(other.counters.iter().cloned());
+    pub fn merge(&mut self, other: &StatSink) {
+        for (name, &(_, oid)) in other.names.iter().zip(&other.index) {
+            self.names.push(name.clone());
+            self.index.push((name.clone(), oid));
+            self.values.push(other.values[oid as usize]);
+        }
     }
 }

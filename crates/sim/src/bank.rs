@@ -6,11 +6,10 @@
 //! out) — otherwise every block arriving at bank *i* would share low bits
 //! and pile into a fraction of the sets.
 
-use stashdir_common::{BankId, BlockAddr, Counter, Cycle, StatSink};
+use stashdir_common::{BankId, BlockAddr, Counter, Cycle, FxHashMap, StatSink};
 use stashdir_core::{DirectoryModel, EvictionAction};
 use stashdir_mem::{CacheConfig, CacheStats, SetAssoc};
 use stashdir_protocol::DirView;
-use std::collections::HashMap;
 
 /// One LLC line's bank-side metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +47,9 @@ pub struct BankStats {
 }
 
 impl BankStats {
-    fn export(&self, prefix: &str, sink: &mut StatSink) {
+    /// Exports the per-bank counters under `prefix.`; every key is
+    /// additive, so per-bank shard sinks merge cleanly.
+    pub(crate) fn export(&self, prefix: &str, sink: &mut StatSink) {
         sink.put_counter(format!("{prefix}.discoveries"), self.discoveries);
         sink.put_counter(
             format!("{prefix}.discoveries_found"),
@@ -101,7 +102,7 @@ pub struct Bank {
     llc: SetAssoc<LlcLine>,
     dir: Box<dyn DirectoryModel>,
     /// Per-block transaction serialization windows.
-    block_busy: HashMap<BlockAddr, Cycle>,
+    block_busy: FxHashMap<BlockAddr, Cycle>,
     /// Bank controller pipeline availability.
     pub free_at: Cycle,
     /// LLC hit/miss accounting.
@@ -124,7 +125,7 @@ impl Bank {
             bank_bits,
             llc: SetAssoc::new(llc_cfg.num_sets(), llc_cfg.assoc(), llc_cfg.repl, seed),
             dir,
-            block_busy: HashMap::new(),
+            block_busy: FxHashMap::default(),
             free_at: Cycle::ZERO,
             llc_stats: CacheStats::default(),
             stats: BankStats::default(),

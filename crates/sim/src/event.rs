@@ -29,6 +29,19 @@ pub struct EventQueue<E> {
 
 /// Wrapper that exempts the payload from ordering (the `(time, seq)` key
 /// is already total).
+///
+/// # Tie-break determinism
+///
+/// The heap key is the pair `(Cycle, seq)`: `seq` is a monotonically
+/// increasing push counter, so two events scheduled for the same cycle
+/// always pop in the order they were pushed (FIFO), regardless of the
+/// payload. `OrdIgnored` reports every pair of payloads as `Equal` so
+/// the payload type never participates in the comparison — the payload
+/// needs no `Ord` impl, and `BinaryHeap`'s internal sift order (which
+/// *is* allowed to compare equal keys in any order) can never observe a
+/// difference. This is the property the whole simulator's bit-for-bit
+/// determinism rests on: replacing the payload, its hash, or its
+/// in-memory layout can never reorder same-cycle events.
 #[derive(Debug)]
 struct OrdIgnored<E>(E);
 
@@ -126,6 +139,41 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    proptest::proptest! {
+        /// For any interleaving of push times (including duplicates) and
+        /// interspersed pops, the pop sequence equals a stable sort of
+        /// the pushed events by `(time, push index)` — i.e. time order
+        /// with FIFO tie-break, independent of payload values.
+        #[test]
+        fn tie_break_is_push_order(times in proptest::collection::vec(0u64..8, 1..64)) {
+            let mut q = EventQueue::new();
+            let mut expected: Vec<(Cycle, usize)> = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Cycle::new(t), i);
+                expected.push((Cycle::new(t), i));
+            }
+            // Stable sort by time preserves push order within a cycle.
+            expected.sort_by_key(|&(t, _)| t);
+            let popped: Vec<(Cycle, usize)> =
+                std::iter::from_fn(|| q.pop()).collect();
+            proptest::prop_assert_eq!(popped, expected);
+        }
+
+        /// `pending()` previews exactly the pop order.
+        #[test]
+        fn pending_matches_pop_order(times in proptest::collection::vec(0u64..8, 1..64)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Cycle::new(t), i);
+            }
+            let preview: Vec<(Cycle, usize)> =
+                q.pending().into_iter().map(|(t, &e)| (t, e)).collect();
+            let popped: Vec<(Cycle, usize)> =
+                std::iter::from_fn(|| q.pop()).collect();
+            proptest::prop_assert_eq!(preview, popped);
+        }
     }
 
     #[test]

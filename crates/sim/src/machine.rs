@@ -20,7 +20,7 @@ use crate::report::{SimReport, TimelineSample};
 use crate::values::ValueTracker;
 use stashdir_common::json::Value;
 use stashdir_common::{
-    BankId, BlockAddr, CoreId, Cycle, Histogram, MemOp, MemOpKind, NodeId, StatSink,
+    BankId, BlockAddr, CoreId, Cycle, FxHashMap, Histogram, MemOp, MemOpKind, NodeId, StatSink,
 };
 use stashdir_core::EvictionAction;
 use stashdir_mem::DramModel;
@@ -30,11 +30,53 @@ use stashdir_protocol::{
     DiscoveryIntent, Grant, PrivState, Probe, ProbeReply, PutOutcome, Request, CONTROL_FLITS,
     DATA_FLITS,
 };
-use std::collections::{HashMap, VecDeque};
-
 /// Ring-buffer depth of the event trail kept for diagnostic snapshots
 /// (maintained only while fault injection is threaded).
 const RECENT_EVENTS: usize = 32;
+
+/// Fixed-capacity ring of the most recent `(Cycle, Event)` pairs.
+///
+/// The hot loop stores plain `Copy` values here; nothing is formatted
+/// until [`Machine::diag_snapshot`] renders the trail at quiesce time,
+/// so a healthy faulty-mode run never allocates for diagnostics. The
+/// backing `Vec` is allocated once at `RECENT_EVENTS` capacity and
+/// never grows.
+#[derive(Debug)]
+struct EventRing {
+    slots: Vec<(Cycle, Event)>,
+    /// Index of the oldest entry once the ring is full (and the next
+    /// overwrite target); always 0 while still filling.
+    head: usize,
+}
+
+impl EventRing {
+    fn new() -> Self {
+        EventRing {
+            slots: Vec::with_capacity(RECENT_EVENTS),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, at: Cycle, event: Event) {
+        if self.slots.len() < RECENT_EVENTS {
+            self.slots.push((at, event));
+        } else {
+            self.slots[self.head] = (at, event);
+            self.head = (self.head + 1) % RECENT_EVENTS;
+        }
+    }
+
+    /// Entries oldest→newest.
+    fn iter(&self) -> impl Iterator<Item = &(Cycle, Event)> {
+        let (tail, front) = self.slots.split_at(self.head);
+        front.iter().chain(tail.iter())
+    }
+
+    #[cfg(test)]
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+}
 
 /// Per-core runtime state.
 #[derive(Debug)]
@@ -47,7 +89,7 @@ pub(crate) struct CoreRt {
     pub(crate) ops_done: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// The core attempts its next trace operation.
     Issue(CoreId),
@@ -82,12 +124,12 @@ struct DiscoveryHit {
 pub struct Machine {
     pub(crate) cfg: SystemConfig,
     pub(crate) net: Network,
-    chan_last: HashMap<(NodeId, NodeId), Cycle>,
+    chan_last: FxHashMap<(NodeId, NodeId), Cycle>,
     pub(crate) cores: Vec<CoreRt>,
     pub(crate) privs: Vec<PrivateHier>,
     pub(crate) banks: Vec<Bank>,
     pub(crate) dram: DramModel,
-    pub(crate) dram_store: HashMap<BlockAddr, u64>,
+    pub(crate) dram_store: FxHashMap<BlockAddr, u64>,
     pub(crate) values: ValueTracker,
     queue: EventQueue<Event>,
     bank_bits: u32,
@@ -99,7 +141,7 @@ pub struct Machine {
     next_sample: Cycle,
     faults: Option<FaultPlan>,
     last_retire: Vec<Cycle>,
-    recent_events: VecDeque<String>,
+    recent_events: EventRing,
     snapshot: Option<String>,
     quiesced: bool,
 }
@@ -139,12 +181,12 @@ impl Machine {
             .collect();
         Machine {
             net: Network::new(mesh, config.noc),
-            chan_last: HashMap::new(),
+            chan_last: FxHashMap::default(),
             cores: Vec::new(),
             privs,
             banks,
             dram: DramModel::new(config.dram),
-            dram_store: HashMap::new(),
+            dram_store: FxHashMap::default(),
             values: ValueTracker::new(),
             queue: EventQueue::new(),
             bank_bits,
@@ -163,7 +205,7 @@ impl Machine {
             },
             faults: None,
             last_retire: Vec::new(),
-            recent_events: VecDeque::new(),
+            recent_events: EventRing::new(),
             snapshot: None,
             quiesced: false,
             cfg: config,
@@ -354,12 +396,12 @@ impl Machine {
 
     // ---- fault injection, watchdog, quiesce ----
 
-    /// Appends one line to the diagnostic event trail (faulty runs only).
+    /// Records one entry in the diagnostic event trail (faulty runs
+    /// only). Stores the raw `(Cycle, Event)` pair — rendering to text
+    /// is deferred to [`Machine::diag_snapshot`], so this is
+    /// allocation-free.
     fn note_event(&mut self, now: Cycle, event: &Event) {
-        if self.recent_events.len() == RECENT_EVENTS {
-            self.recent_events.pop_front();
-        }
-        self.recent_events.push_back(format!("{now}: {event:?}"));
+        self.recent_events.push(now, *event);
     }
 
     /// `true` when the armed watchdog finds an unfinished core that has
@@ -618,10 +660,13 @@ impl Machine {
                 ])
             })
             .collect();
+        // The trail is stored as raw values; format the exact same
+        // "{cycle}: {event:?}" lines the snapshot schema always carried,
+        // but only here — never on the hot path.
         let recent = self
             .recent_events
             .iter()
-            .map(|line| Value::String(line.clone()))
+            .map(|(at, event)| Value::String(format!("{at}: {event:?}")))
             .collect();
         Value::object(vec![
             ("schema".into(), "stashdir/diag-snapshot/v1".into()),
@@ -1285,56 +1330,39 @@ impl Machine {
             .unwrap_or(0);
         let completed_ops: u64 = self.cores.iter().map(|c| c.ops_done).sum();
 
-        // Aggregate per-core cache stats.
-        let mut l1 = stashdir_mem::CacheStats::default();
-        let mut l2 = stashdir_mem::CacheStats::default();
+        // Every per-component section is built as its own *shard* sink
+        // holding only additive counters, then folded into the report
+        // with `StatSink::merge`. Derived ratios (miss rates) are
+        // recomputed from the merged totals afterwards, so splitting
+        // these loops across threads (the harness's sharded-run path)
+        // yields byte-identical reports.
         for p in &self.privs {
-            l1.merge(&p.l1_stats);
-            l2.merge(&p.l2_stats);
+            let mut shard = StatSink::new();
+            p.l1_stats.export_counters("l1", &mut shard);
+            p.l2_stats.export_counters("l2", &mut shard);
+            sink.merge(&shard);
         }
-        l1.export("l1", &mut sink);
-        l2.export("l2", &mut sink);
 
-        // Aggregate banks.
-        let mut llc = stashdir_mem::CacheStats::default();
-        let mut dir = stashdir_core::DirStats::default();
-        let mut bank_stats = crate::bank::BankStats::default();
         let mut dir_occupancy = 0usize;
         for b in &self.banks {
-            llc.merge(&b.llc_stats);
-            dir.merge(b.dir().stats());
-            bank_stats.merge(&b.stats);
+            let mut shard = StatSink::new();
+            b.llc_stats.export_counters("llc", &mut shard);
+            b.dir().stats().export("dir", &mut shard);
+            b.stats.export("bank", &mut shard);
+            sink.merge(&shard);
             dir_occupancy += b.dir().occupancy();
         }
-        llc.export("llc", &mut sink);
-        dir.export("dir", &mut sink);
-        sink.put("bank.discoveries", bank_stats.discoveries.get() as f64);
-        sink.put(
-            "bank.discoveries_found",
-            bank_stats.discoveries_found.get() as f64,
-        );
-        sink.put(
-            "bank.discoveries_stale",
-            bank_stats.discoveries_stale.get() as f64,
-        );
-        sink.put(
-            "bank.evict_discoveries",
-            bank_stats.evict_discoveries.get() as f64,
-        );
-        sink.put("bank.llc_recalls", bank_stats.llc_recalls.get() as f64);
-        sink.put(
-            "bank.inclusion_invalidations",
-            bank_stats.inclusion_invalidations.get() as f64,
-        );
-        sink.put(
-            "bank.dir_eviction_probes",
-            bank_stats.dir_eviction_probes.get() as f64,
-        );
-        sink.put("bank.stale_puts", bank_stats.stale_puts.get() as f64);
-        sink.put(
-            "bank.hidden_writebacks",
-            bank_stats.hidden_writebacks.get() as f64,
-        );
+
+        // Counter sums are exact in f64 (well below 2^53), so these
+        // ratios match the pre-shard single-pass computation bit for
+        // bit.
+        for prefix in ["l1", "l2", "llc"] {
+            let misses = sink.get_or_zero(&format!("{prefix}.misses"));
+            let total = sink.get_or_zero(&format!("{prefix}.hits")) + misses;
+            let rate = if total == 0.0 { 0.0 } else { misses / total };
+            sink.put(format!("{prefix}.miss_rate"), rate);
+        }
+
         sink.put("dir.occupancy_final", dir_occupancy as f64);
         sink.put(
             "dir.storage_bits",
@@ -1442,6 +1470,28 @@ mod tests {
         let report = Machine::new(cfg).run(traces);
         report.assert_clean();
         report
+    }
+
+    #[test]
+    fn event_ring_is_preallocated_and_never_grows() {
+        let mut ring = EventRing::new();
+        assert_eq!(ring.capacity(), RECENT_EVENTS, "allocated up front");
+        for i in 0..(3 * RECENT_EVENTS as u64) {
+            ring.push(Cycle::new(i), Event::Issue(CoreId::new(0)));
+        }
+        assert_eq!(
+            ring.capacity(),
+            RECENT_EVENTS,
+            "hot-path pushes must not reallocate"
+        );
+        let cycles: Vec<u64> = ring.iter().map(|(at, _)| at.get()).collect();
+        let newest = 3 * RECENT_EVENTS as u64 - 1;
+        let oldest = newest + 1 - RECENT_EVENTS as u64;
+        assert_eq!(
+            cycles,
+            (oldest..=newest).collect::<Vec<_>>(),
+            "iterates oldest to newest over the last RECENT_EVENTS entries"
+        );
     }
 
     #[test]

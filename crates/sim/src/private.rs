@@ -12,12 +12,11 @@
 //! owner-evicted-while-forward-in-flight race.
 
 use serde::{Deserialize, Serialize};
-use stashdir_common::{BlockAddr, CoreId, MemOp, MemOpKind};
+use stashdir_common::{BlockAddr, CoreId, FxHashMap, MemOp, MemOpKind};
 use stashdir_mem::{CacheConfig, CacheStats, SetAssoc};
 use stashdir_protocol::{
     local_access, probe as probe_fsm, AccessOutcome, Grant, PrivState, Probe, ProbeReply, Request,
 };
-use std::collections::HashMap;
 
 /// An L2 line: coherence state plus the data version it holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,7 +95,7 @@ pub struct PrivateHier {
     /// Payload is "writable": true iff the L2 line is Modified.
     l1: SetAssoc<bool>,
     l2: SetAssoc<L2Line>,
-    wb: HashMap<BlockAddr, WbEntry>,
+    wb: FxHashMap<BlockAddr, WbEntry>,
     l1_latency: u64,
     l2_latency: u64,
     notify_clean: bool,
@@ -119,7 +118,7 @@ impl PrivateHier {
             core,
             l1: SetAssoc::new(l1.num_sets(), l1.assoc(), l1.repl, seed ^ 0xA5A5),
             l2: SetAssoc::new(l2.num_sets(), l2.assoc(), l2.repl, seed ^ 0x5A5A),
-            wb: HashMap::new(),
+            wb: FxHashMap::default(),
             l1_latency: l1.latency,
             l2_latency: l2.latency,
             notify_clean,

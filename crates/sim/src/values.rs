@@ -13,8 +13,7 @@
 //! A protocol bug that loses a writeback or serves stale data (e.g. the
 //! refetch-overtakes-writeback race) trips these checks immediately.
 
-use stashdir_common::{BlockAddr, CoreId};
-use std::collections::HashMap;
+use stashdir_common::{BlockAddr, CoreId, FxHashMap};
 
 /// Tracks per-block write versions and checks reader observations.
 ///
@@ -33,8 +32,8 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Default)]
 pub struct ValueTracker {
-    latest: HashMap<BlockAddr, u64>,
-    last_seen: HashMap<(CoreId, BlockAddr), u64>,
+    latest: FxHashMap<BlockAddr, u64>,
+    last_seen: FxHashMap<(CoreId, BlockAddr), u64>,
     next_version: u64,
     violations: Vec<String>,
 }

@@ -6,10 +6,15 @@
 //! bench_with_input, finish}`, `BenchmarkId`, `Throughput`, and
 //! `Bencher::iter` — so `cargo bench` runs without network access.
 //!
-//! Measurement is intentionally simple: a short warm-up, then timed batches
-//! until a small time budget is spent, reporting mean ns/iter (and element
-//! throughput when declared) to stdout. It is a smoke-run harness, not a
-//! statistics engine; swap back to real criterion for publishable numbers.
+//! Measurement is intentionally simple: a short warm-up and calibration,
+//! then timed batches until a small time budget is spent, reporting mean
+//! and median ns/iter (and element throughput when declared) to stdout.
+//! Results are also recorded on the [`Criterion`] context
+//! ([`Criterion::results`]) so bench harnesses can post-process them —
+//! the repo's `hotpath` bench gate serializes them to
+//! `BENCH_sim_hotpath.json` and diffs against a committed baseline. It
+//! is a smoke-run harness, not a statistics engine; swap back to real
+//! criterion for publishable numbers.
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +23,37 @@ use std::time::{Duration, Instant};
 
 /// Measurement budget per benchmark.
 const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Target wall-clock per timed batch: long enough to amortize the
+/// `Instant::now()` overhead for nanosecond-scale bodies, short enough
+/// to leave hundreds of samples in the budget for a stable median.
+const BATCH_TARGET_NS: f64 = 100_000.0;
+
+/// One benchmark's recorded measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (empty for ungrouped benchmarks).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean ns per iteration over the whole run.
+    pub mean_ns: f64,
+    /// Median of the per-batch ns/iter samples.
+    pub median_ns: f64,
+    /// Total iterations timed.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// `group/id`, or just `id` when ungrouped.
+    pub fn label(&self) -> String {
+        if self.group.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{}/{}", self.group, self.id)
+        }
+    }
+}
 
 /// Declared throughput of one benchmark iteration.
 #[derive(Debug, Clone, Copy)]
@@ -66,21 +102,45 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    /// ns/iter of each timed batch (the median source).
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `f` over repeated calls until the budget is spent.
+    /// Times `f` in calibrated batches until the budget is spent.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up doubles as calibration: size batches so one batch
+        // costs roughly `BATCH_TARGET_NS` and `Instant::now()` noise
+        // stays out of the per-iteration signal.
+        let warmup = Instant::now();
         for _ in 0..3 {
             std::hint::black_box(f());
         }
+        let est_ns = (warmup.elapsed().as_nanos() as f64 / 3.0).max(1.0);
+        let batch = (BATCH_TARGET_NS / est_ns).clamp(1.0, 1_000_000.0) as u64;
         let budget_start = Instant::now();
         while budget_start.elapsed() < TIME_BUDGET {
             let start = Instant::now();
-            std::hint::black_box(f());
-            self.total += start.elapsed();
-            self.iters += 1;
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let spent = start.elapsed();
+            self.total += spent;
+            self.iters += batch;
+            self.samples.push(spent.as_nanos() as f64 / batch as f64);
         }
+    }
+}
+
+/// Median of `samples` (mean of the middle pair for even lengths).
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
     }
 }
 
@@ -88,7 +148,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -109,7 +169,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&self.name, &id.id, self.throughput, |b| f(b));
+        let result = run_one(&self.name, &id.id, self.throughput, |b| f(b));
+        self.criterion.record(result);
         self
     }
 
@@ -119,7 +180,8 @@ impl BenchmarkGroup<'_> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&self.name, &id.id, self.throughput, |b| f(b, input));
+        let result = run_one(&self.name, &id.id, self.throughput, |b| f(b, input));
+        self.criterion.record(result);
         self
     }
 
@@ -129,7 +191,9 @@ impl BenchmarkGroup<'_> {
 
 /// The top-level bench context.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
@@ -137,7 +201,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             throughput: None,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -146,12 +210,29 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one("", name, None, |b| f(b));
+        let result = run_one("", name, None, |b| f(b));
+        self.record(result);
         self
+    }
+
+    /// Every measurement recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn record(&mut self, result: Option<BenchResult>) {
+        if let Some(r) = result {
+            self.results.push(r);
+        }
     }
 }
 
-fn run_one(group: &str, id: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+fn run_one(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) -> Option<BenchResult> {
     let label = if group.is_empty() {
         id.to_string()
     } else {
@@ -160,35 +241,44 @@ fn run_one(group: &str, id: &str, throughput: Option<Throughput>, mut f: impl Fn
     let mut bencher = Bencher {
         total: Duration::ZERO,
         iters: 0,
+        samples: Vec::new(),
     };
     f(&mut bencher);
     if bencher.iters == 0 {
         println!("bench {label:<40} (no iterations recorded)");
-        return;
+        return None;
     }
-    let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let mean_ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let median_ns = median(&mut bencher.samples);
     match throughput {
         Some(Throughput::Elements(n)) => {
-            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            let per_sec = n as f64 * 1e9 / median_ns;
             println!(
-                "bench {label:<40} {ns_per_iter:>14.1} ns/iter  {per_sec:>14.0} elem/s  ({} iters)",
+                "bench {label:<40} {median_ns:>12.1} ns/iter (median)  {per_sec:>14.0} elem/s  ({} iters)",
                 bencher.iters
             );
         }
         Some(Throughput::Bytes(n)) => {
-            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            let per_sec = n as f64 * 1e9 / median_ns;
             println!(
-                "bench {label:<40} {ns_per_iter:>14.1} ns/iter  {per_sec:>14.0} B/s  ({} iters)",
+                "bench {label:<40} {median_ns:>12.1} ns/iter (median)  {per_sec:>14.0} B/s  ({} iters)",
                 bencher.iters
             );
         }
         None => {
             println!(
-                "bench {label:<40} {ns_per_iter:>14.1} ns/iter  ({} iters)",
+                "bench {label:<40} {median_ns:>12.1} ns/iter (median)  ({} iters)",
                 bencher.iters
             );
         }
     }
+    Some(BenchResult {
+        group: group.to_string(),
+        id: id.to_string(),
+        mean_ns,
+        median_ns,
+        iters: bencher.iters,
+    })
 }
 
 /// Declares a bench group function invoking each target with a fresh
@@ -227,5 +317,26 @@ mod tests {
                 b.iter(|| std::hint::black_box(2u64 + 2))
             });
         group.finish();
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].label(), "smoke/add");
+        assert!(results[0].iters > 0);
+        assert!(results[0].median_ns > 0.0);
+        assert!(results[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn ungrouped_results_are_recorded() {
+        let mut c = Criterion::default();
+        c.bench_function("solo", |b| b.iter(|| std::hint::black_box(1u64 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].label(), "solo");
     }
 }
