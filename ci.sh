@@ -30,6 +30,22 @@ echo "$chaos_out" | grep -qF \
   "chaos gate: 7/7 fault classes caught by their expected detector — PASS" \
   || { echo "chaos smoke FAILED:"; echo "$chaos_out"; exit 1; }
 
+# Shoot-out smoke (E18): the equal-area backend comparison end to end at
+# a reduced op count, from a scratch cwd so the committed full-scale
+# results/e18_shootout.csv is not clobbered. Passes when the sweep
+# completes and the CSV carries every registered backend.
+echo "== shoot-out smoke (E18)"
+repo_root=$(pwd)
+e18_dir=$(mktemp -d)
+(cd "$e18_dir" && cargo run -q --manifest-path "$repo_root/Cargo.toml" \
+  -p stashdir-harness --offline --bin sweep -- \
+  --plan shootout --run ci_shootout --ops 300 --no-progress >/dev/null)
+e18_backends=$(tail -n +2 "$e18_dir/results/e18_shootout.csv" | cut -d, -f2 | sort -u)
+e18_count=$(echo "$e18_backends" | wc -l)
+[[ "$e18_count" -ge 6 ]] \
+  || { echo "E18 smoke FAILED: only $e18_count backends in CSV:"; echo "$e18_backends"; exit 1; }
+rm -rf "$e18_dir"
+
 echo "== cargo test -q --offline"
 cargo test -q --workspace --offline
 

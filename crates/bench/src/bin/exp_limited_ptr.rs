@@ -4,68 +4,28 @@
 //! but wide sharing overflows to broadcast invalidation. Where the stash
 //! premise holds — private blocks dominate — small `k` costs almost
 //! nothing, compounding the paper's storage saving.
+//!
+//! The experiment itself lives in the registry
+//! ([`stashdir_harness::experiments`], key `limited_ptr`) and runs under
+//! the parallel sweep; this binary is a thin wrapper kept for its
+//! original CLI, producing the same table and CSV.
 
-use stashdir::{CostParams, CoverageRatio, DirSpec, Machine, SharerFormat, SystemConfig, Workload};
-use stashdir_bench::{f2, f3, Params, Table};
+use stashdir_bench::Params;
+use stashdir_harness::experiments::{self, ResultSet};
+use stashdir_harness::{run_cases, RunOptions};
 
 fn main() {
     let params = Params::default();
-    let coverage = CoverageRatio::new(1, 8);
-    let formats = [
-        ("fullmap-vec", SharerFormat::FullMap),
-        ("ptr4", SharerFormat::LimitedPtr { k: 4 }),
-        ("ptr2", SharerFormat::LimitedPtr { k: 2 }),
-        ("ptr1", SharerFormat::LimitedPtr { k: 1 }),
-    ];
-    let workloads = [
-        Workload::DataParallel,
-        Workload::Lu,
-        Workload::ReadMostly,
-        Workload::Stencil,
-    ];
-
-    let mut table = Table::new(
-        "E15 / Fig L — limited-pointer formats on the stash directory at 1/8 coverage",
-        &[
-            "workload",
-            "format",
-            "norm_time",
-            "inv_probes",
-            "entry_bits",
-            "slice_KiB",
-        ],
-    );
-    for workload in workloads {
-        let ideal = {
-            let cfg = SystemConfig::default().with_dir(DirSpec::FullMap);
-            let traces = workload.generate(cfg.cores, params.ops, params.seed);
-            let r = Machine::new(cfg).run(traces);
-            r.assert_clean();
-            r.cycles as f64
-        };
-        for (name, format) in formats {
-            let mut cfg = SystemConfig::default().with_dir(DirSpec::stash(coverage));
-            cfg.sharer_format = format;
-            let cost: CostParams = cfg.cost_params();
-            let slice_params = CostParams {
-                llc_lines: cost.llc_lines / cfg.cores as u64,
-                ..cost
-            };
-            let slice_bits = cfg.dir_slice().build(0).storage_bits(&slice_params);
-            let traces = workload.generate(cfg.cores, params.ops, params.seed);
-            let r = Machine::new(cfg).run(traces);
-            r.assert_clean();
-            table.row(vec![
-                workload.name().to_string(),
-                name.to_string(),
-                f3(r.cycles as f64 / ideal),
-                f2(r.stat("noc.messages.inv")),
-                format.entry_bits(&slice_params).to_string(),
-                f2(slice_bits as f64 / 8.0 / 1024.0),
-            ]);
-        }
-        eprintln!("[{workload} done]");
-    }
-    table.print();
-    table.save_csv("e15_limited_ptr");
+    let exp = experiments::find("limited_ptr").expect("limited_ptr is registered");
+    let options = RunOptions {
+        progress: false,
+        ..RunOptions::default()
+    };
+    let results: ResultSet = run_cases(&exp.cases(params), &options)
+        .into_iter()
+        .filter_map(|o| o.report.map(|r| (o.spec.id(), r)))
+        .collect();
+    let assembled = exp.assemble(params, &results);
+    assembled.table.print();
+    assembled.table.save_csv(exp.csv);
 }

@@ -47,7 +47,10 @@ fn usage() -> String {
     format!(
         "usage: simulate [options]\n\
          \x20 --workload <name>    one of: {}\n\
-         \x20 --dir <org>          fullmap | sparse | stash | cuckoo (default stash)\n\
+         \x20 --dir <org>          a registry name (fullmap | sparse | stash | cuckoo,\n\
+         \x20                      paired with --coverage) or a full spec such as\n\
+         \x20                      dls, opaque@1/8, limited-ptr2@1/8x8w, stash@1/4x4w\n\
+         \x20                      (default stash)\n\
          \x20 --coverage <n/d>     directory coverage ratio (default 1/8)\n\
          \x20 --cores <n>          power-of-two core count (default 16)\n\
          \x20 --ops <n>            operations per core (default 10000)\n\
@@ -137,10 +140,15 @@ fn main() -> ExitCode {
         "cuckoo" => DirSpec::Cuckoo {
             coverage: args.coverage,
         },
-        other => {
-            eprintln!("unknown directory organization {other}\n{}", usage());
-            return ExitCode::FAILURE;
-        }
+        // Anything else is a full `DirSpec` (dls, opaque@1/8,
+        // limited-ptr2@1/8x8w, …), which carries its own coverage.
+        spec => match spec.parse::<DirSpec>() {
+            Ok(d) => d,
+            Err(msg) => {
+                eprintln!("bad --dir: {msg}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        },
     };
     let mut config = SystemConfig::default().with_cores(args.cores).with_dir(dir);
     config.sharer_format = args.format;

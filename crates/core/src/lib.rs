@@ -11,9 +11,12 @@
 //! | [`SparseDirectory`] | set-associative, under-provisioned | invalidate all copies of the victim |
 //! | [`StashDirectory`] | set-associative, under-provisioned | **silently drop** entries tracking *private* blocks (set the LLC stash bit); invalidate only shared victims |
 //! | [`CuckooDirectory`] | multi-hash, under-provisioned | relocate; invalidate only when a relocation path is exhausted |
+//! | [`DlsDirectory`] | none (directoryless) | never conflicts; shared blocks are never cached privately |
+//! | [`OpaqueDirectory`] | set-associative shards at opaque banks | invalidate all copies of the victim |
 //!
 //! All implement [`DirectoryModel`], so the simulator (and your own code)
-//! can swap them freely.
+//! can swap them freely — [`DirConfig::build`] resolves the organization
+//! through the enumerable backend [`registry`].
 //!
 //! # Examples
 //!
@@ -40,17 +43,23 @@
 
 pub mod cost;
 pub mod cuckoo;
+pub mod dls;
 pub mod format;
 pub mod fullmap;
 pub mod model;
+pub mod opaque;
+pub mod registry;
 pub mod sparse;
 pub mod stash;
 mod storage;
 
 pub use cost::{CostParams, EnergyCounts, EnergyModel};
 pub use cuckoo::CuckooDirectory;
+pub use dls::DlsDirectory;
 pub use format::SharerFormat;
 pub use fullmap::FullMapDirectory;
 pub use model::{DirConfig, DirKind, DirReplPolicy, DirStats, DirectoryModel, EvictionAction};
+pub use opaque::OpaqueDirectory;
+pub use registry::{backends, BackendInfo};
 pub use sparse::SparseDirectory;
 pub use stash::StashDirectory;

@@ -209,6 +209,20 @@ pub enum DirKind {
         /// Relocation path budget per insert.
         max_path: usize,
     },
+    /// Directoryless (related-work baseline): an unbounded owner map with
+    /// zero storage cost; shared blocks are serviced as remote LLC
+    /// accesses by the machine.
+    Dls,
+    /// Opaque-distributed (related-work baseline): sparse shards placed
+    /// at banks by an opaque address→bank map, keyed by global addresses.
+    Opaque {
+        /// Number of sets (power of two).
+        sets: usize,
+        /// Ways per set.
+        ways: usize,
+        /// Victim selection.
+        repl: DirReplPolicy,
+    },
 }
 
 /// A buildable directory configuration.
@@ -274,6 +288,26 @@ impl DirConfig {
         }
     }
 
+    /// The directoryless DLS backend.
+    pub fn dls() -> Self {
+        DirConfig {
+            kind: DirKind::Dls,
+            format: SharerFormat::FullMap,
+        }
+    }
+
+    /// An opaque-distributed directory shard with LRU replacement.
+    pub fn opaque(sets: usize, ways: usize) -> Self {
+        DirConfig {
+            kind: DirKind::Opaque {
+                sets,
+                ways,
+                repl: DirReplPolicy::Lru,
+            },
+            format: SharerFormat::FullMap,
+        }
+    }
+
     /// Overrides the sharer-encoding format (sparse and stash kinds; the
     /// full-map ideal and cuckoo baseline keep precise vectors).
     pub fn with_sharer_format(mut self, format: SharerFormat) -> Self {
@@ -285,8 +319,10 @@ impl DirConfig {
     /// ignored by full-map and cuckoo).
     pub fn with_repl(mut self, repl: DirReplPolicy) -> Self {
         match &mut self.kind {
-            DirKind::Sparse { repl: r, .. } | DirKind::Stash { repl: r, .. } => *r = repl,
-            DirKind::FullMap | DirKind::Cuckoo { .. } => {}
+            DirKind::Sparse { repl: r, .. }
+            | DirKind::Stash { repl: r, .. }
+            | DirKind::Opaque { repl: r, .. } => *r = repl,
+            DirKind::FullMap | DirKind::Cuckoo { .. } | DirKind::Dls => {}
         }
         self
     }
@@ -294,29 +330,38 @@ impl DirConfig {
     /// Number of entries this configuration provides.
     pub fn entries(&self) -> usize {
         match self.kind {
-            DirKind::FullMap => usize::MAX,
-            DirKind::Sparse { sets, ways, .. } | DirKind::Stash { sets, ways, .. } => sets * ways,
+            DirKind::FullMap | DirKind::Dls => usize::MAX,
+            DirKind::Sparse { sets, ways, .. }
+            | DirKind::Stash { sets, ways, .. }
+            | DirKind::Opaque { sets, ways, .. } => sets * ways,
             DirKind::Cuckoo { entries, .. } => entries,
         }
     }
 
-    /// Builds the directory. `seed` feeds stochastic policies; views
-    /// carry their own sharer-set capacity.
-    pub fn build(&self, seed: u64) -> Box<dyn DirectoryModel> {
-        match self.kind {
-            DirKind::FullMap => Box::new(crate::FullMapDirectory::new()),
-            DirKind::Sparse { sets, ways, repl } => Box::new(
-                crate::SparseDirectory::new(sets, ways, repl, seed).with_format(self.format),
-            ),
-            DirKind::Stash { sets, ways, repl } => Box::new(
-                crate::StashDirectory::new(sets, ways, repl, seed).with_format(self.format),
-            ),
-            DirKind::Cuckoo {
-                entries,
-                hashes,
-                max_path,
-            } => Box::new(crate::CuckooDirectory::new(entries, hashes, max_path, seed)),
+    /// The backend-registry name this configuration resolves to. Differs
+    /// from [`name`](DirConfig::name) only for the stash organization
+    /// composed with a limited-pointer format, which is the registered
+    /// `limited-ptr` backend.
+    pub fn backend_name(&self) -> &'static str {
+        match (self.kind, self.format) {
+            (DirKind::Stash { .. }, SharerFormat::LimitedPtr { .. }) => "limited-ptr",
+            _ => self.name(),
         }
+    }
+
+    /// Builds the directory by resolving this configuration's
+    /// [`backend_name`](DirConfig::backend_name) through the backend
+    /// registry. `seed` feeds stochastic policies; views carry their own
+    /// sharer-set capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend name is not registered (impossible for
+    /// configurations built through this type's constructors).
+    pub fn build(&self, seed: u64) -> Box<dyn DirectoryModel> {
+        let entry = crate::registry::resolve(self.backend_name())
+            .unwrap_or_else(|| panic!("unregistered directory backend {}", self.backend_name()));
+        (entry.build)(self, seed)
     }
 
     /// `true` when this organization can hide blocks (so homes must
@@ -332,6 +377,8 @@ impl DirConfig {
             DirKind::Sparse { .. } => "sparse",
             DirKind::Stash { .. } => "stash",
             DirKind::Cuckoo { .. } => "cuckoo",
+            DirKind::Dls => "dls",
+            DirKind::Opaque { .. } => "opaque",
         }
     }
 }
@@ -349,6 +396,8 @@ impl fmt::Display for DirConfig {
                 hashes,
                 max_path,
             } => write!(f, "cuckoo({entries},d={hashes},path={max_path})"),
+            DirKind::Dls => write!(f, "dls"),
+            DirKind::Opaque { sets, ways, repl } => write!(f, "opaque({sets}x{ways},{repl})"),
         }
     }
 }

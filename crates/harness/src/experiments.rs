@@ -1,5 +1,6 @@
 //! The experiment registry: every table and figure of the reproduction
-//! (E1–E14 plus the E17 chaos smoke) expressed as *data* — a function contributing simulation
+//! (E1–E15 plus the E17 chaos smoke and the E18 equal-area shoot-out)
+//! expressed as *data* — a function contributing simulation
 //! cases to a run, and a function assembling the table back out of the
 //! shared result set.
 //!
@@ -15,7 +16,8 @@ use crate::plan::CaseSpec;
 use crate::table::{f2, f3, n0, Table};
 use stashdir::{
     expected_detector, Characterization, CostParams, CoverageRatio, DirReplPolicy, DirSpec,
-    EnergyCounts, EnergyModel, FaultClass, FaultConfig, SimReport, SystemConfig, Workload,
+    EnergyCounts, EnergyModel, FaultClass, FaultConfig, SharerFormat, SimReport, SystemConfig,
+    Workload,
 };
 use std::collections::HashMap;
 
@@ -73,8 +75,9 @@ impl Experiment {
     }
 }
 
-/// All experiments, in suite order (E1..E14, then the E17 chaos smoke;
-/// E15/E16 are standalone bench binaries).
+/// All experiments, in suite order (E1..E15, then the E17 chaos smoke
+/// and the E18 equal-area shoot-out; E16 remains a standalone bench
+/// binary).
 pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
@@ -190,12 +193,28 @@ pub fn registry() -> Vec<Experiment> {
             assemble_fn: e14_assemble,
         },
         Experiment {
+            key: "limited_ptr",
+            code: "E15",
+            csv: "e15_limited_ptr",
+            summary: "limited-pointer sharer formats on the stash directory",
+            cases_fn: e15_cases,
+            assemble_fn: e15_assemble,
+        },
+        Experiment {
             key: "chaos_smoke",
             code: "E17",
             csv: "e17_chaos_smoke",
             summary: "fault-injection smoke: every fault class vs its detector",
             cases_fn: e17_cases,
             assemble_fn: e17_assemble,
+        },
+        Experiment {
+            key: "shootout",
+            code: "E18",
+            csv: "e18_shootout",
+            summary: "equal-area shoot-out across every registered backend",
+            cases_fn: e18_cases,
+            assemble_fn: e18_assemble,
         },
     ]
 }
@@ -947,6 +966,91 @@ fn e14_assemble(p: Params, results: &ResultSet) -> Assembled {
     Assembled { table, note: None }
 }
 
+// ---------------------------------------------------------------- E15
+
+const E15_WORKLOADS: [Workload; 4] = [
+    Workload::DataParallel,
+    Workload::Lu,
+    Workload::ReadMostly,
+    Workload::Stencil,
+];
+
+/// The E15 format ladder: the stash full-map sharer vector and the
+/// limited-pointer encodings, all at 1/8 coverage. The `fullmap-vec` row
+/// is the plain stash directory (its entries carry a full 16-bit vector);
+/// the `ptr{k}` rows are the `limited-ptr` backend at the same geometry.
+fn e15_formats() -> [(&'static str, DirSpec, SharerFormat); 4] {
+    [
+        (
+            "fullmap-vec",
+            DirSpec::stash(eighth()),
+            SharerFormat::FullMap,
+        ),
+        (
+            "ptr4",
+            DirSpec::limited_ptr(eighth(), 4),
+            SharerFormat::LimitedPtr { k: 4 },
+        ),
+        (
+            "ptr2",
+            DirSpec::limited_ptr(eighth(), 2),
+            SharerFormat::LimitedPtr { k: 2 },
+        ),
+        (
+            "ptr1",
+            DirSpec::limited_ptr(eighth(), 1),
+            SharerFormat::LimitedPtr { k: 1 },
+        ),
+    ]
+}
+
+fn e15_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in E15_WORKLOADS {
+        cases.push(case(DirSpec::FullMap, workload, p));
+        for (_, spec, _) in e15_formats() {
+            cases.push(case(spec, workload, p));
+        }
+    }
+    cases
+}
+
+fn e15_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E15 / Fig L — limited-pointer formats on the stash directory at 1/8 coverage",
+        &[
+            "workload",
+            "format",
+            "norm_time",
+            "inv_probes",
+            "entry_bits",
+            "slice_KiB",
+        ],
+    );
+    for workload in E15_WORKLOADS {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p)).cycles as f64;
+        for (name, spec, format) in e15_formats() {
+            let cfg = machine_with(spec);
+            let cost = cfg.cost_params();
+            let slice_params = CostParams {
+                llc_lines: cost.llc_lines / cfg.cores as u64,
+                ..cost
+            };
+            let slice_bits = cfg.dir_slice().build(0).storage_bits(&slice_params);
+            let r = report(results, &case(spec, workload, p));
+            table.row(vec![
+                workload.name().to_string(),
+                name.to_string(),
+                f3(r.cycles as f64 / ideal),
+                f2(r.stat("noc.messages.inv")),
+                format.entry_bits(&slice_params).to_string(),
+                f2(slice_bits as f64 / 8.0 / 1024.0),
+            ]);
+        }
+    }
+    Assembled { table, note: None }
+}
+
 // ---------------------------------------------------------------- E17
 
 /// Chaos-smoke params: a capped op count keeps the gate fast even when
@@ -1024,6 +1128,180 @@ fn e17_assemble(p: Params, results: &ResultSet) -> Assembled {
     }
 }
 
+// ---------------------------------------------------------------- E18
+
+/// Per-slice directory storage of `spec` on the default 16-core machine.
+fn e18_slice_bits(spec: DirSpec) -> u64 {
+    let cfg = machine_with(spec);
+    let cost = cfg.cost_params();
+    let per_slice = CostParams {
+        llc_lines: cost.llc_lines / cfg.cores as u64,
+        ..cost
+    };
+    cfg.dir_slice().build(0).storage_bits(&per_slice)
+}
+
+/// The equal-area budget every contender must fit: the per-slice storage
+/// of the paper's headline stash@1/8 configuration.
+fn e18_budget_bits() -> u64 {
+    e18_slice_bits(DirSpec::stash(eighth()))
+}
+
+/// The widest `make(ways)` whose slice storage still fits `budget`
+/// (storage grows monotonically with ways at fixed set count).
+fn e18_fit(budget: u64, make: impl Fn(u32) -> DirSpec) -> DirSpec {
+    let mut best = make(1);
+    for ways in 2..=64 {
+        let spec = make(ways);
+        if e18_slice_bits(spec) > budget {
+            break;
+        }
+        best = spec;
+    }
+    best
+}
+
+/// One contender per registered backend, each provisioned to the
+/// stash@1/8 storage budget. The set count is pinned to the anchor's so
+/// every set-associative contender differs only in ways (entry count):
+/// cheaper entries (limited pointers) buy more of them, costlier ones
+/// (cuckoo tags) fewer. `fullmap` is the unconstrained ideal used for
+/// normalization; `dls` stores nothing and is trivially within budget.
+fn e18_backends() -> Vec<(&'static str, DirSpec)> {
+    let tracked = SystemConfig::default().tracked_blocks_per_slice();
+    let budget = e18_budget_bits();
+    let sets = (eighth().entries_for(tracked) / 8)
+        .max(1)
+        .next_power_of_two() as u32;
+    let cov = |ways: u32| CoverageRatio::new(sets * ways, tracked as u32);
+    let sparse = e18_fit(budget, |w| DirSpec::Sparse {
+        coverage: cov(w),
+        assoc: w as usize,
+        repl: DirReplPolicy::Lru,
+    });
+    let limited = e18_fit(budget, |w| DirSpec::LimitedPtr {
+        coverage: cov(w),
+        assoc: w as usize,
+        k: 2,
+    });
+    let opaque = e18_fit(budget, |w| DirSpec::Opaque {
+        coverage: cov(w),
+        assoc: w as usize,
+    });
+    let cuckoo = {
+        // Cuckoo has no set/way split — fit its flat entry count in
+        // steps of 4 (it keeps 4 equal hash tables).
+        let mut best = DirSpec::Cuckoo {
+            coverage: CoverageRatio::new(4, tracked as u32),
+        };
+        let mut entries = 8u32;
+        while entries as usize <= tracked {
+            let spec = DirSpec::Cuckoo {
+                coverage: CoverageRatio::new(entries, tracked as u32),
+            };
+            if e18_slice_bits(spec) > budget {
+                break;
+            }
+            best = spec;
+            entries += 4;
+        }
+        best
+    };
+    vec![
+        ("fullmap", DirSpec::FullMap),
+        ("sparse", sparse),
+        ("stash", DirSpec::stash(eighth())),
+        ("limited-ptr", limited),
+        ("cuckoo", cuckoo),
+        ("dls", DirSpec::Dls),
+        ("opaque", opaque),
+    ]
+}
+
+fn e18_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for workload in E9_WORKLOADS {
+        for (_, spec) in e18_backends() {
+            cases.push(case(spec, workload, p));
+        }
+    }
+    cases
+}
+
+fn e18_assemble(p: Params, results: &ResultSet) -> Assembled {
+    fn counts_of(r: &SimReport) -> EnergyCounts {
+        EnergyCounts {
+            dir_accesses: r.stat("dir.lookups") as u64,
+            llc_accesses: (r.stat("llc.hits") + r.stat("llc.misses") + r.stat("llc.writebacks"))
+                as u64,
+            dram_accesses: r.stat("dram.accesses") as u64,
+            flit_hops: r.stat("noc.flit_hops") as u64,
+            probes: (r.stat("noc.messages.inv")
+                + r.stat("noc.messages.fwd")
+                + r.stat("noc.messages.discovery")) as u64,
+        }
+    }
+    let model = EnergyModel::default();
+    let backends = e18_backends();
+    let budget = e18_budget_bits();
+    let mut table = Table::new(
+        format!(
+            "E18 — equal-area backend shoot-out at the stash@1/8 budget ({:.2} KiB/slice)",
+            budget as f64 / 8.0 / 1024.0
+        ),
+        &[
+            "workload",
+            "backend",
+            "spec",
+            "norm_time",
+            "norm_traffic",
+            "norm_energy",
+            "slice_KiB",
+        ],
+    );
+    let mut norms: HashMap<&'static str, Vec<f64>> = HashMap::new();
+    for workload in E9_WORKLOADS {
+        let ideal = report(results, &case(DirSpec::FullMap, workload, p));
+        let ideal_cycles = ideal.cycles as f64;
+        let ideal_hops = ideal.stat("noc.flit_hops").max(1.0);
+        let ideal_pj = model.dynamic_pj(&counts_of(ideal)).max(f64::MIN_POSITIVE);
+        for &(name, spec) in &backends {
+            let r = report(results, &case(spec, workload, p));
+            let norm_time = r.cycles as f64 / ideal_cycles;
+            norms.entry(name).or_default().push(norm_time);
+            table.row(vec![
+                workload.name().to_string(),
+                name.to_string(),
+                spec.to_string(),
+                f3(norm_time),
+                f3(r.stat("noc.flit_hops") / ideal_hops),
+                f3(model.dynamic_pj(&counts_of(r)) / ideal_pj),
+                f2(e18_slice_bits(spec) as f64 / 8.0 / 1024.0),
+            ]);
+        }
+    }
+    let g = |name: &str| geomean(&norms[name]);
+    let (stash, sparse) = (g("stash"), g("sparse"));
+    let verdict = if stash <= sparse {
+        "stash keeps the paper's equal-area win"
+    } else {
+        "RANKING INVERTED vs the paper"
+    };
+    Assembled {
+        table,
+        note: Some(format!(
+            "equal-area geomeans: stash {} vs sparse {} (cuckoo {}, limited-ptr {}, \
+             dls {}, opaque {}) — {verdict}",
+            f3(stash),
+            f3(sparse),
+            f3(g("cuckoo")),
+            f3(g("limited-ptr")),
+            f3(g("dls")),
+            f3(g("opaque")),
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1035,15 +1313,49 @@ mod tests {
     #[test]
     fn registry_keys_and_csvs_are_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 17);
         let mut keys: Vec<_> = reg.iter().map(|e| e.key).collect();
         keys.sort_unstable();
         keys.dedup();
-        assert_eq!(keys.len(), 15, "duplicate experiment key");
+        assert_eq!(keys.len(), 17, "duplicate experiment key");
         let mut csvs: Vec<_> = reg.iter().map(|e| e.csv).collect();
         csvs.sort_unstable();
         csvs.dedup();
-        assert_eq!(csvs.len(), 15, "duplicate csv stem");
+        assert_eq!(csvs.len(), 17, "duplicate csv stem");
+        let mut codes: Vec<_> = reg.iter().map(|e| e.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 17, "duplicate experiment code");
+    }
+
+    /// Every registered backend fields an E18 contender, and every
+    /// storage-bearing contender lands within (and actually uses) the
+    /// stash@1/8 equal-area budget.
+    #[test]
+    fn e18_contenders_cover_the_registry_at_equal_area() {
+        let backends = e18_backends();
+        let names: Vec<_> = backends.iter().map(|(n, _)| *n).collect();
+        for info in stashdir::core::backends() {
+            assert!(
+                names.contains(&info.name),
+                "registry backend {} has no E18 contender",
+                info.name
+            );
+        }
+        let budget = e18_budget_bits();
+        for &(name, spec) in &backends {
+            if name == "fullmap" {
+                continue; // the normalization ideal is unconstrained
+            }
+            let bits = e18_slice_bits(spec);
+            assert!(bits <= budget, "{name} over budget: {bits} > {budget}");
+            if name != "dls" {
+                assert!(
+                    bits * 2 > budget,
+                    "{name} leaves half the budget unused: {bits} of {budget}"
+                );
+            }
+        }
     }
 
     #[test]

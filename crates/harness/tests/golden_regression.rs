@@ -1,0 +1,87 @@
+//! Byte-identity regression for the backend-subsystem extension.
+//!
+//! The fixtures under `tests/fixtures/golden_cases/` are real case
+//! artifacts captured from the sweep *before* the directory-backend
+//! registry (DLS, opaque-distributed, `limited-ptr` as a `DirSpec`
+//! variant) landed. Re-running those cases today must reproduce both the
+//! case ids (the config digest covers the full `Debug` rendering of the
+//! config, so any accidental change to existing variants shows up as an
+//! id drift) and the artifact bytes. Likewise the E15 limited-pointer
+//! table, folded from its standalone binary into the registry, must
+//! still emit the binary's CSV byte for byte.
+
+use stashdir::{CoverageRatio, DirSpec, Workload};
+use stashdir_harness::artifact::report_to_json;
+use stashdir_harness::{machine_with, run_cases, CaseSpec, Params, ResultSet, RunOptions};
+
+fn quiet() -> RunOptions {
+    RunOptions {
+        progress: false,
+        ..RunOptions::default()
+    }
+}
+
+const GOLDEN: [(&str, &str); 4] = [
+    (
+        "fullmap-c16-canneal-o60-s7-d133354d",
+        include_str!("fixtures/golden_cases/fullmap-c16-canneal-o60-s7-d133354d.json"),
+    ),
+    (
+        "sparse-1_8x8w-c16-canneal-o60-s7-6d791403",
+        include_str!("fixtures/golden_cases/sparse-1_8x8w-c16-canneal-o60-s7-6d791403.json"),
+    ),
+    (
+        "stash-1_8x8w-c16-canneal-o60-s7-681095d4",
+        include_str!("fixtures/golden_cases/stash-1_8x8w-c16-canneal-o60-s7-681095d4.json"),
+    ),
+    (
+        "cuckoo-1_8-c16-canneal-o60-s7-c9877974",
+        include_str!("fixtures/golden_cases/cuckoo-1_8-c16-canneal-o60-s7-c9877974.json"),
+    ),
+];
+
+fn golden_dirs() -> [DirSpec; 4] {
+    let c = CoverageRatio::new(1, 8);
+    [
+        DirSpec::FullMap,
+        DirSpec::sparse(c),
+        DirSpec::stash(c),
+        DirSpec::Cuckoo { coverage: c },
+    ]
+}
+
+#[test]
+fn pre_extension_case_artifacts_stay_byte_identical() {
+    let specs: Vec<CaseSpec> = golden_dirs()
+        .into_iter()
+        .map(|d| CaseSpec::new(machine_with(d), Workload::Canneal, 60, 7))
+        .collect();
+    for (spec, (id, _)) in specs.iter().zip(GOLDEN) {
+        assert_eq!(spec.id(), id, "case identity (config digest) drifted");
+    }
+    let outcomes = run_cases(&specs, &quiet());
+    for (outcome, (id, golden)) in outcomes.into_iter().zip(GOLDEN) {
+        let report = outcome.report.unwrap_or_else(|| panic!("{id} failed"));
+        assert_eq!(
+            report_to_json(&report).render_pretty(),
+            golden,
+            "artifact for {id} is no longer byte-identical"
+        );
+    }
+}
+
+#[test]
+fn e15_registry_experiment_matches_the_standalone_binary_csv() {
+    let exp = stashdir_harness::experiments::find("limited_ptr").expect("limited_ptr registered");
+    let p = Params { ops: 80, seed: 7 };
+    let results: ResultSet = run_cases(&exp.cases(p), &quiet())
+        .into_iter()
+        .filter_map(|o| o.report.map(|r| (o.spec.id(), r)))
+        .collect();
+    let assembled = exp.assemble(p, &results);
+    assert_eq!(
+        assembled.table.to_csv(),
+        include_str!("fixtures/e15_limited_ptr_ops80.csv"),
+        "folded E15 must reproduce the standalone binary's CSV byte for byte"
+    );
+}

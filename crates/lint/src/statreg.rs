@@ -79,6 +79,25 @@ pub const RULES: &[RegRule] = &[
         ],
     },
     RegRule {
+        struct_file: "crates/sim/src/bank.rs",
+        struct_name: "BackendStats",
+        // The backend counters (DLS remote accesses, opaque indirection)
+        // funnel through two sites: `export` writes them into the bank's
+        // shard sink under `backend.*`, and `merge` folds per-bank shards
+        // together. A counter missing from either silently vanishes from
+        // the E18 shoot-out artifacts.
+        registries: &[
+            Registry {
+                file: "crates/sim/src/bank.rs",
+                function: "BackendStats::export",
+            },
+            Registry {
+                file: "crates/sim/src/bank.rs",
+                function: "BackendStats::merge",
+            },
+        ],
+    },
+    RegRule {
         struct_file: "crates/common/src/stats.rs",
         struct_name: "Histogram",
         registries: &[Registry {

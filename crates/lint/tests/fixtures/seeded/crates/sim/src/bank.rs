@@ -1,0 +1,20 @@
+//! Fixture backend-stats struct. `BackendStats.indirection_hops` is
+//! deliberately missing from `BackendStats::merge`, seeding a
+//! stat-registration violation (`export` mentions every field, so the
+//! merge registry is the one that fires).
+
+pub struct BackendStats {
+    pub remote_llc_accesses: u64,
+    pub indirection_hops: u64,
+}
+
+impl BackendStats {
+    pub fn export(&self, sink: &mut Vec<(String, u64)>) {
+        sink.push(("backend.remote".into(), self.remote_llc_accesses));
+        sink.push(("backend.hops".into(), self.indirection_hops));
+    }
+
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.remote_llc_accesses += other.remote_llc_accesses;
+    }
+}

@@ -73,6 +73,11 @@ fn seeded_fixture_fires_each_rule() {
         render_findings(&report.findings)
     );
     assert!(
+        has(RULE_STAT_UNREGISTERED, "BackendStats.indirection_hops"),
+        "missing backend-stats registration finding:\n{}",
+        render_findings(&report.findings)
+    );
+    assert!(
         !report
             .findings
             .iter()
@@ -82,8 +87,8 @@ fn seeded_fixture_fires_each_rule() {
     );
     assert_eq!(
         report.findings.len(),
-        6,
-        "exactly the six seeded violations:\n{}",
+        7,
+        "exactly the seven seeded violations:\n{}",
         render_findings(&report.findings)
     );
 }
@@ -198,5 +203,5 @@ fn binary_exit_codes_gate_ci() {
     let _ = std::fs::remove_file(&artifact);
     assert!(Value::parse(&text).is_ok(), "artifact is valid JSON");
     let out = String::from_utf8_lossy(&seeded.stdout);
-    assert!(out.contains("6 finding(s)"), "stdout:\n{out}");
+    assert!(out.contains("7 finding(s)"), "stdout:\n{out}");
 }

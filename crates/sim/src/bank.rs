@@ -95,12 +95,65 @@ impl BankStats {
     }
 }
 
+/// Counters specific to the non-home directory backends (DLS and
+/// opaque-distributed). Zero — and unexported — for every other
+/// organization, so legacy artifacts are unchanged.
+#[derive(Debug, Default, Clone)]
+pub struct BackendStats {
+    /// DLS: demand accesses to shared blocks served at the remote shared
+    /// LLC instead of filling a private cache.
+    pub remote_llc_accesses: Counter,
+    /// DLS: blocks reclassified private→shared when a second core touched
+    /// them.
+    pub dls_reclassifications: Counter,
+    /// Opaque: extra home↔directory-bank message legs taken because the
+    /// opaque map placed the entry away from the block's home.
+    pub indirection_hops: Counter,
+    /// Opaque: directory-shard accesses landing on *this* bank (the
+    /// per-bank spread yields the imbalance stat).
+    pub dir_bank_accesses: Counter,
+}
+
+impl BackendStats {
+    /// Exports the backend counters under `prefix.`; additive, so
+    /// per-bank shard sinks merge cleanly.
+    pub(crate) fn export(&self, prefix: &str, sink: &mut StatSink) {
+        sink.put_counter(
+            format!("{prefix}.remote_llc_accesses"),
+            self.remote_llc_accesses,
+        );
+        sink.put_counter(
+            format!("{prefix}.dls_reclassifications"),
+            self.dls_reclassifications,
+        );
+        sink.put_counter(format!("{prefix}.indirection_hops"), self.indirection_hops);
+        sink.put_counter(
+            format!("{prefix}.dir_bank_accesses"),
+            self.dir_bank_accesses,
+        );
+    }
+
+    /// Adds another bank's counters into this one.
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.remote_llc_accesses
+            .add(other.remote_llc_accesses.get());
+        self.dls_reclassifications
+            .add(other.dls_reclassifications.get());
+        self.indirection_hops.add(other.indirection_hops.get());
+        self.dir_bank_accesses.add(other.dir_bank_accesses.get());
+    }
+}
+
 /// An LLC bank plus directory slice.
 pub struct Bank {
     id: BankId,
     bank_bits: u32,
     llc: SetAssoc<LlcLine>,
     dir: Box<dyn DirectoryModel>,
+    /// The directory slice indexes by global block addresses (opaque
+    /// sharding: the shard holds other banks' home blocks, so the
+    /// bank-local compression would be wrong).
+    dir_global_keys: bool,
     /// Per-block transaction serialization windows.
     block_busy: FxHashMap<BlockAddr, Cycle>,
     /// Bank controller pipeline availability.
@@ -109,6 +162,8 @@ pub struct Bank {
     pub llc_stats: CacheStats,
     /// Bank-specific counters.
     pub stats: BankStats,
+    /// Backend-specific counters (DLS / opaque only).
+    pub backend: BackendStats,
 }
 
 impl Bank {
@@ -120,15 +175,19 @@ impl Bank {
         dir: Box<dyn DirectoryModel>,
         seed: u64,
     ) -> Self {
+        // Opaque shards are keyed by global addresses (see field doc).
+        let dir_global_keys = dir.name() == "opaque";
         Bank {
             id,
             bank_bits,
             llc: SetAssoc::new(llc_cfg.num_sets(), llc_cfg.assoc(), llc_cfg.repl, seed),
             dir,
+            dir_global_keys,
             block_busy: FxHashMap::default(),
             free_at: Cycle::ZERO,
             llc_stats: CacheStats::default(),
             stats: BankStats::default(),
+            backend: BackendStats::default(),
         }
     }
 
@@ -237,25 +296,42 @@ impl Bank {
 
     // ---- Directory slice ----
 
+    /// The directory key for `block`: bank-local for home-placed slices,
+    /// the global address as-is for opaque shards.
+    fn dir_key(&self, block: BlockAddr) -> BlockAddr {
+        if self.dir_global_keys {
+            block
+        } else {
+            self.local(block)
+        }
+    }
+
     /// The directory's view of `block` ([`DirView::Untracked`] when no
     /// entry exists).
     pub fn dir_view(&self, block: BlockAddr) -> DirView {
         self.dir
-            .lookup(self.local(block))
+            .lookup(self.dir_key(block))
             .unwrap_or(DirView::Untracked)
     }
 
     /// Installs a view, translating the eviction action back to global
     /// addresses.
     pub fn dir_install(&mut self, block: BlockAddr, view: DirView) -> EvictionAction {
-        match self.dir.install(self.local(block), view) {
+        let globalize = |bank: &Bank, b| {
+            if bank.dir_global_keys {
+                b
+            } else {
+                bank.global(b)
+            }
+        };
+        match self.dir.install(self.dir_key(block), view) {
             EvictionAction::None => EvictionAction::None,
             EvictionAction::Silent { block, owner } => EvictionAction::Silent {
-                block: self.global(block),
+                block: globalize(self, block),
                 owner,
             },
             EvictionAction::Invalidate { block, view } => EvictionAction::Invalidate {
-                block: self.global(block),
+                block: globalize(self, block),
                 view,
             },
         }
@@ -263,7 +339,8 @@ impl Bank {
 
     /// Untracks `block`.
     pub fn dir_remove(&mut self, block: BlockAddr) {
-        self.dir.remove(self.local(block));
+        let key = self.dir_key(block);
+        self.dir.remove(key);
     }
 
     /// Snapshot of directory entries (global addresses).
@@ -271,7 +348,14 @@ impl Bank {
         self.dir
             .entries()
             .into_iter()
-            .map(|(b, v)| (self.global(b), v))
+            .map(|(b, v)| {
+                let g = if self.dir_global_keys {
+                    b
+                } else {
+                    self.global(b)
+                };
+                (g, v)
+            })
             .collect()
     }
 
@@ -460,5 +544,40 @@ mod tests {
         assert!(sink.get("bank1.dir.silent_evictions").is_some());
         assert!(sink.get("bank1.discoveries").is_some());
         assert!(sink.get("bank1.dir.occupancy").is_some());
+    }
+
+    #[test]
+    fn opaque_slice_uses_global_dir_keys() {
+        // Bank 1 of 4 holding an *opaque* shard: it may track blocks homed
+        // at other banks, which the home-local key scheme would reject.
+        let llc = CacheConfig::new(1024, 2, 64, 1, ReplKind::Lru);
+        let mut b = Bank::new(BankId::new(1), 2, &llc, DirConfig::opaque(8, 2).build(9), 3);
+        let foreign = BlockAddr::new(6); // low bits 10 -> homed at bank 2
+        b.dir_install(foreign, DirView::Exclusive(CoreId::new(4)));
+        assert_eq!(b.dir_view(foreign), DirView::Exclusive(CoreId::new(4)));
+        assert_eq!(
+            b.dir_entries(),
+            vec![(foreign, DirView::Exclusive(CoreId::new(4)))]
+        );
+        b.dir_remove(foreign);
+        assert_eq!(b.dir_view(foreign), DirView::Untracked);
+    }
+
+    #[test]
+    fn backend_stats_merge_and_export() {
+        let mut a = BackendStats::default();
+        let mut other = BackendStats::default();
+        a.remote_llc_accesses.add(2);
+        other.remote_llc_accesses.add(3);
+        other.indirection_hops.add(5);
+        other.dir_bank_accesses.add(7);
+        other.dls_reclassifications.add(1);
+        a.merge(&other);
+        let mut sink = StatSink::new();
+        a.export("backend", &mut sink);
+        assert_eq!(sink.get("backend.remote_llc_accesses"), Some(5.0));
+        assert_eq!(sink.get("backend.indirection_hops"), Some(5.0));
+        assert_eq!(sink.get("backend.dir_bank_accesses"), Some(7.0));
+        assert_eq!(sink.get("backend.dls_reclassifications"), Some(1.0));
     }
 }

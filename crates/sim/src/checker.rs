@@ -54,9 +54,11 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
 
     for (&block, holders) in &copies {
         let home = machine.home(block);
-        // lint: allow(indexing) — `home()` returns an in-range BankId.
+        // lint: allow(indexing) — `home()`/`dir_bank_of()` return in-range BankIds.
         let bank = &machine.banks[home.index()];
-        let view = bank.dir_view(block);
+        // The entry may live away from the home (opaque sharding).
+        // lint: allow(indexing) — `dir_bank_of()` returns an in-range BankId.
+        let view = machine.banks[machine.dir_bank_of(block).index()].dir_view(block);
         let stash = bank.stash_bit(block);
         let llc_resident = bank.llc_peek(block).is_some();
 
@@ -127,7 +129,10 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
                         "stash: {block} has a stash bit under a non-stash directory"
                     ));
                 }
-                if bank.dir_view(block) != DirView::Untracked {
+                // lint: allow(indexing) — `dir_bank_of()` returns an in-range BankId.
+                if machine.banks[machine.dir_bank_of(block).index()].dir_view(block)
+                    != DirView::Untracked
+                {
                     problems.push(format!(
                         "stash: {block} is tracked yet keeps its stash bit set"
                     ));
@@ -135,9 +140,14 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
             }
         }
         // Directory entries must point at resident LLC lines (inclusion
-        // seen from the home side).
+        // seen from the home side — an opaque shard tracks blocks homed at
+        // *other* banks, so residence is checked at each block's home).
         for (block, _) in bank.dir_entries() {
-            if bank.llc_peek(block).is_none() {
+            // lint: allow(indexing) — `home()` returns an in-range BankId.
+            if machine.banks[machine.home(block).index()]
+                .llc_peek(block)
+                .is_none()
+            {
                 problems.push(format!(
                     "I4: {} tracks {block} without an LLC line",
                     bank.id()

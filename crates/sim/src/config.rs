@@ -103,6 +103,28 @@ pub enum DirSpec {
         /// Entries relative to tracked private blocks.
         coverage: CoverageRatio,
     },
+    /// The stash organization with limited-pointer sharer encoding:
+    /// `k` pointers per entry, degrading to broadcast on overflow.
+    LimitedPtr {
+        /// Entries relative to tracked private blocks.
+        coverage: CoverageRatio,
+        /// Ways per directory set.
+        assoc: usize,
+        /// Pointers per entry.
+        k: u8,
+    },
+    /// Directoryless DLS: no directory storage at all. Blocks touched by
+    /// a second core are reclassified shared and serviced as remote LLC
+    /// accesses from then on, never cached privately.
+    Dls,
+    /// Opaque-distributed directory: sparse-style entries sharded across
+    /// banks by an opaque address→bank map instead of the home function.
+    Opaque {
+        /// Entries relative to tracked private blocks.
+        coverage: CoverageRatio,
+        /// Ways per directory set.
+        assoc: usize,
+    },
 }
 
 impl DirSpec {
@@ -125,20 +147,57 @@ impl DirSpec {
         }
     }
 
-    /// The organization's short name.
+    /// Shorthand for the stash organization with `k` limited pointers
+    /// (8-way, private-first LRU).
+    pub fn limited_ptr(coverage: CoverageRatio, k: u8) -> Self {
+        DirSpec::LimitedPtr {
+            coverage,
+            assoc: 8,
+            k,
+        }
+    }
+
+    /// Shorthand for an opaque-distributed directory (8-way).
+    pub fn opaque(coverage: CoverageRatio) -> Self {
+        DirSpec::Opaque { coverage, assoc: 8 }
+    }
+
+    /// The organization's short name (its backend-registry name).
     pub fn name(&self) -> &'static str {
         match self {
             DirSpec::FullMap => "fullmap",
             DirSpec::Sparse { .. } => "sparse",
             DirSpec::Stash { .. } => "stash",
             DirSpec::Cuckoo { .. } => "cuckoo",
+            DirSpec::LimitedPtr { .. } => "limited-ptr",
+            DirSpec::Dls => "dls",
+            DirSpec::Opaque { .. } => "opaque",
         }
     }
 
     /// `true` when the machine must maintain LLC stash bits and run
-    /// discovery.
+    /// discovery (the limited-pointer organization is stash-based).
     pub fn uses_stash(&self) -> bool {
-        matches!(self, DirSpec::Stash { .. })
+        matches!(self, DirSpec::Stash { .. } | DirSpec::LimitedPtr { .. })
+    }
+
+    /// `true` for the directoryless DLS backend, whose shared blocks the
+    /// machine services as remote LLC accesses.
+    pub fn is_dls(&self) -> bool {
+        matches!(self, DirSpec::Dls)
+    }
+
+    /// `true` for the opaque-distributed backend, whose directory entries
+    /// live at banks chosen by the opaque map rather than the home.
+    pub fn is_opaque(&self) -> bool {
+        matches!(self, DirSpec::Opaque { .. })
+    }
+
+    /// `true` when the machine maintains backend-specific counters
+    /// (remote LLC accesses, indirection hops, dir-bank load) that the
+    /// report should export.
+    pub fn has_backend_stats(&self) -> bool {
+        self.is_dls() || self.is_opaque()
     }
 
     /// Resolves to a per-slice [`DirConfig`] given the number of private
@@ -168,6 +227,16 @@ impl DirSpec {
                 // Keep 4 tables of equal size.
                 DirConfig::cuckoo((entries / 4).max(1) * 4)
             }
+            DirSpec::LimitedPtr { coverage, assoc, k } => {
+                let (sets, ways) = geometry(coverage.entries_for(tracked_blocks_per_slice), assoc);
+                DirConfig::stash(sets, ways)
+                    .with_sharer_format(SharerFormat::LimitedPtr { k: k as usize })
+            }
+            DirSpec::Dls => DirConfig::dls(),
+            DirSpec::Opaque { coverage, assoc } => {
+                let (sets, ways) = geometry(coverage.entries_for(tracked_blocks_per_slice), assoc);
+                DirConfig::opaque(sets, ways)
+            }
         }
     }
 }
@@ -189,6 +258,120 @@ impl fmt::Display for DirSpec {
                 coverage, assoc, ..
             } => write!(f, "stash@{coverage}x{assoc}w"),
             DirSpec::Cuckoo { coverage } => write!(f, "cuckoo@{coverage}"),
+            DirSpec::LimitedPtr { coverage, assoc, k } => {
+                write!(f, "limited-ptr{k}@{coverage}x{assoc}w")
+            }
+            DirSpec::Dls => write!(f, "dls"),
+            DirSpec::Opaque { coverage, assoc } => write!(f, "opaque@{coverage}x{assoc}w"),
+        }
+    }
+}
+
+/// The grammar accepted by [`DirSpec::from_str`], kind by kind.
+pub const DIR_KIND_HELP: &str = "fullmap, sparse@<cov>[x<ways>w], stash@<cov>[x<ways>w], \
+     cuckoo@<cov>, limited-ptr<k>@<cov>[x<ways>w], dls, opaque@<cov>[x<ways>w]";
+
+/// Parses a coverage ratio: `1/8` or a bare integer like `2`.
+fn parse_coverage(s: &str) -> Result<CoverageRatio, String> {
+    let bad = || format!("bad coverage `{s}`: expected <num>/<den> or <num>, e.g. 1/8");
+    let (num, den) = match s.split_once('/') {
+        Some((n, d)) => (
+            n.parse::<u32>().map_err(|_| bad())?,
+            d.parse::<u32>().map_err(|_| bad())?,
+        ),
+        None => (s.parse::<u32>().map_err(|_| bad())?, 1),
+    };
+    if num == 0 || den == 0 {
+        return Err(bad());
+    }
+    Ok(CoverageRatio::new(num, den))
+}
+
+/// Parses a geometry suffix: `<cov>` or `<cov>x<ways>w` (default 8-way).
+fn parse_geometry(kind: &str, g: &str) -> Result<(CoverageRatio, usize), String> {
+    let (cov, assoc) = match g.rsplit_once('x') {
+        Some((c, a)) => {
+            let ways = a
+                .strip_suffix('w')
+                .and_then(|w| w.parse::<usize>().ok())
+                .filter(|&w| w > 0)
+                .ok_or_else(|| {
+                    format!("bad `{kind}` geometry `{g}`: expected <cov>x<ways>w, e.g. 1/8x8w")
+                })?;
+            (c, ways)
+        }
+        None => (g, 8),
+    };
+    Ok((parse_coverage(cov)?, assoc))
+}
+
+impl std::str::FromStr for DirSpec {
+    type Err = String;
+
+    /// Parses the rendering produced by [`Display`](fmt::Display)
+    /// (`stash@1/8x8w`, `cuckoo@1/4`, `limited-ptr2@1/8x8w`, `dls`, …),
+    /// with the `x<ways>w` suffix optional (8-way default). Unknown kinds
+    /// name every valid one in the error.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (kind, geom) = match s.split_once('@') {
+            Some((k, g)) => (k, Some(g)),
+            None => (s, None),
+        };
+        let need_geom =
+            |kind: &str| format!("directory kind `{kind}` needs a coverage, e.g. {kind}@1/8x8w");
+        let no_geom = |kind: &str| format!("directory kind `{kind}` takes no coverage");
+        match kind {
+            "fullmap" => match geom {
+                None => Ok(DirSpec::FullMap),
+                Some(_) => Err(no_geom(kind)),
+            },
+            "dls" => match geom {
+                None => Ok(DirSpec::Dls),
+                Some(_) => Err(no_geom(kind)),
+            },
+            "sparse" => {
+                let (coverage, assoc) = parse_geometry(kind, geom.ok_or_else(|| need_geom(kind))?)?;
+                Ok(DirSpec::Sparse {
+                    coverage,
+                    assoc,
+                    repl: DirReplPolicy::Lru,
+                })
+            }
+            "stash" => {
+                let (coverage, assoc) = parse_geometry(kind, geom.ok_or_else(|| need_geom(kind))?)?;
+                Ok(DirSpec::Stash {
+                    coverage,
+                    assoc,
+                    repl: DirReplPolicy::PrivateFirstLru,
+                })
+            }
+            "opaque" => {
+                let (coverage, assoc) = parse_geometry(kind, geom.ok_or_else(|| need_geom(kind))?)?;
+                Ok(DirSpec::Opaque { coverage, assoc })
+            }
+            "cuckoo" => {
+                let coverage = parse_coverage(geom.ok_or_else(|| need_geom(kind))?)?;
+                Ok(DirSpec::Cuckoo { coverage })
+            }
+            _ => {
+                if let Some(rest) = kind.strip_prefix("limited-ptr") {
+                    let k: u8 = rest.parse().map_err(|_| {
+                        format!("bad limited-ptr pointer count `{rest}`: expected limited-ptr<k>, e.g. limited-ptr2")
+                    })?;
+                    if k == 0 {
+                        return Err("limited-ptr needs at least one pointer".to_string());
+                    }
+                    let (coverage, assoc) = parse_geometry(
+                        "limited-ptr",
+                        geom.ok_or_else(|| need_geom("limited-ptr<k>"))?,
+                    )?;
+                    Ok(DirSpec::LimitedPtr { coverage, assoc, k })
+                } else {
+                    Err(format!(
+                        "unknown directory kind `{kind}`; valid kinds: {DIR_KIND_HELP}"
+                    ))
+                }
+            }
         }
     }
 }
@@ -342,9 +525,13 @@ impl SystemConfig {
 
     /// The resolved per-slice directory configuration.
     pub fn dir_slice(&self) -> DirConfig {
-        self.dir
-            .slice_config(self.tracked_blocks_per_slice())
-            .with_sharer_format(self.sharer_format)
+        let slice = self.dir.slice_config(self.tracked_blocks_per_slice());
+        match self.dir {
+            // A limited-pointer spec carries its own sharer format; the
+            // machine-level default must not clobber it.
+            DirSpec::LimitedPtr { .. } => slice,
+            _ => slice.with_sharer_format(self.sharer_format),
+        }
     }
 
     /// LLC lines chip-wide.
@@ -358,7 +545,8 @@ impl SystemConfig {
         let slice = self.dir_slice();
         let sets = match slice.kind {
             stashdir_core::DirKind::Sparse { sets, .. }
-            | stashdir_core::DirKind::Stash { sets, .. } => sets,
+            | stashdir_core::DirKind::Stash { sets, .. }
+            | stashdir_core::DirKind::Opaque { sets, .. } => sets,
             _ => 1,
         };
         CostParams {
@@ -514,5 +702,101 @@ mod tests {
         );
         assert_eq!(DirSpec::FullMap.to_string(), "fullmap");
         assert_eq!(CoverageRatio::new(2, 1).to_string(), "2");
+        assert_eq!(DirSpec::Dls.to_string(), "dls");
+        assert_eq!(
+            DirSpec::opaque(CoverageRatio::new(1, 8)).to_string(),
+            "opaque@1/8x8w"
+        );
+        assert_eq!(
+            DirSpec::limited_ptr(CoverageRatio::new(1, 8), 2).to_string(),
+            "limited-ptr2@1/8x8w"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for spec in [
+            DirSpec::FullMap,
+            DirSpec::Dls,
+            DirSpec::sparse(CoverageRatio::new(1, 8)),
+            DirSpec::stash(CoverageRatio::new(1, 4)),
+            DirSpec::opaque(CoverageRatio::new(1, 8)),
+            DirSpec::Cuckoo {
+                coverage: CoverageRatio::new(1, 8),
+            },
+            DirSpec::limited_ptr(CoverageRatio::new(1, 8), 4),
+            DirSpec::Stash {
+                coverage: CoverageRatio::new(3, 16),
+                assoc: 4,
+                repl: DirReplPolicy::PrivateFirstLru,
+            },
+        ] {
+            let parsed: DirSpec = spec.to_string().parse().expect("round-trip parse");
+            assert_eq!(parsed, spec, "round-trip of {spec}");
+        }
+    }
+
+    #[test]
+    fn parse_defaults_to_eight_ways() {
+        assert_eq!(
+            "stash@1/8".parse::<DirSpec>().unwrap(),
+            DirSpec::stash(CoverageRatio::new(1, 8))
+        );
+        assert_eq!(
+            "opaque@1/2x4w".parse::<DirSpec>().unwrap(),
+            DirSpec::Opaque {
+                coverage: CoverageRatio::new(1, 2),
+                assoc: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_name_every_kind() {
+        let err = "bogus@1/8".parse::<DirSpec>().unwrap_err();
+        for kind in [
+            "fullmap",
+            "sparse",
+            "stash",
+            "cuckoo",
+            "limited-ptr",
+            "dls",
+            "opaque",
+        ] {
+            assert!(err.contains(kind), "error `{err}` missing kind `{kind}`");
+        }
+        assert!("fullmap@1/8".parse::<DirSpec>().is_err());
+        assert!("stash".parse::<DirSpec>().is_err());
+        assert!("stash@0/8".parse::<DirSpec>().is_err());
+        assert!("limited-ptr0@1/8".parse::<DirSpec>().is_err());
+        assert!("stash@1/8x0w".parse::<DirSpec>().is_err());
+    }
+
+    #[test]
+    fn limited_ptr_slice_keeps_its_format() {
+        let cfg =
+            SystemConfig::default().with_dir(DirSpec::limited_ptr(CoverageRatio::new(1, 8), 2));
+        let slice = cfg.dir_slice();
+        assert_eq!(slice.backend_name(), "limited-ptr");
+        assert_eq!(
+            slice.format,
+            stashdir_core::SharerFormat::LimitedPtr { k: 2 }
+        );
+        // The geometry matches the plain stash slice at the same coverage.
+        let stash = SystemConfig::default()
+            .with_dir(DirSpec::stash(CoverageRatio::new(1, 8)))
+            .dir_slice();
+        assert_eq!(slice.entries(), stash.entries());
+    }
+
+    #[test]
+    fn dls_and_opaque_slices_resolve() {
+        let dls = SystemConfig::default().with_dir(DirSpec::Dls).dir_slice();
+        assert_eq!(dls.backend_name(), "dls");
+        let opaque = SystemConfig::default()
+            .with_dir(DirSpec::opaque(CoverageRatio::new(1, 8)))
+            .dir_slice();
+        assert_eq!(opaque.backend_name(), "opaque");
+        assert_eq!(opaque.entries(), 512);
     }
 }

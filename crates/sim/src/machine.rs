@@ -20,7 +20,8 @@ use crate::report::{SimReport, TimelineSample};
 use crate::values::ValueTracker;
 use stashdir_common::json::Value;
 use stashdir_common::{
-    BankId, BlockAddr, CoreId, Cycle, FxHashMap, Histogram, MemOp, MemOpKind, NodeId, StatSink,
+    BankId, BlockAddr, CoreId, Cycle, FxHashMap, FxHashSet, Histogram, MemOp, MemOpKind, NodeId,
+    StatSink,
 };
 use stashdir_core::EvictionAction;
 use stashdir_mem::DramModel;
@@ -131,6 +132,9 @@ pub struct Machine {
     pub(crate) dram: DramModel,
     pub(crate) dram_store: FxHashMap<BlockAddr, u64>,
     pub(crate) values: ValueTracker,
+    /// DLS only: blocks reclassified shared (a second core touched them);
+    /// they are served at the home LLC and never cached privately again.
+    pub(crate) dls_shared: FxHashSet<BlockAddr>,
     queue: EventQueue<Event>,
     bank_bits: u32,
     transactions: u64,
@@ -188,6 +192,7 @@ impl Machine {
             dram: DramModel::new(config.dram),
             dram_store: FxHashMap::default(),
             values: ValueTracker::new(),
+            dls_shared: FxHashSet::default(),
             queue: EventQueue::new(),
             bank_bits,
             transactions: 0,
@@ -252,6 +257,19 @@ impl Machine {
     /// The home bank of a block.
     pub fn home(&self, block: BlockAddr) -> BankId {
         BankId::new((block.get() & ((1 << self.bank_bits) - 1)) as u16)
+    }
+
+    /// The bank holding `block`'s *directory entry*: the home bank for
+    /// every organization except opaque-distributed, which shards entries
+    /// by a multiplicative hash of the whole block address — deliberately
+    /// decoupled from the home interleaving, so a demand generally takes
+    /// an indirection hop from the home to the directory bank.
+    pub fn dir_bank_of(&self, block: BlockAddr) -> BankId {
+        if !self.cfg.dir.is_opaque() || self.bank_bits == 0 {
+            return self.home(block);
+        }
+        let h = block.get().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        BankId::new((h >> (64 - self.bank_bits)) as u16)
     }
 
     /// Runs the machine over one trace per core until every core retires
@@ -779,14 +797,48 @@ impl Machine {
         }
     }
 
+    /// Charges the home↔directory-bank indirection when `block`'s entry
+    /// lives away from its home (opaque sharding only): a control round
+    /// trip with directory-bank serialization. Returns when the reply is
+    /// back at the home — exactly `t` for home-placed entries, so every
+    /// other organization is untouched.
+    fn consult_dir_bank(&mut self, bank_id: BankId, dir_bank: BankId, t: Cycle) -> Cycle {
+        if dir_bank == bank_id {
+            if self.cfg.dir.is_opaque() {
+                self.banks[dir_bank.index()]
+                    .backend
+                    .dir_bank_accesses
+                    .incr();
+            }
+            return t;
+        }
+        let req_arr = self.deliver(bank_id.node(), dir_bank.node(), CONTROL_FLITS, "dir", t);
+        let db = &mut self.banks[dir_bank.index()];
+        let start = req_arr.max(db.free_at);
+        db.free_at = start + self.cfg.bank_occupancy;
+        db.backend.dir_bank_accesses.incr();
+        let rep_arr = self.deliver(
+            dir_bank.node(),
+            bank_id.node(),
+            CONTROL_FLITS,
+            "dir",
+            start + self.cfg.dir_latency,
+        );
+        self.banks[bank_id.index()].backend.indirection_hops.add(2);
+        rep_arr
+    }
+
     fn process_put(&mut self, msg: BankMsg, now: Cycle) {
         let bank_id = self.home(msg.block);
         let bank = &mut self.banks[bank_id.index()];
-        let t = now.max(bank.free_at).max(bank.block_busy_until(msg.block)) + self.cfg.dir_latency;
+        let mut t =
+            now.max(bank.free_at).max(bank.block_busy_until(msg.block)) + self.cfg.dir_latency;
         bank.free_at = t.max(bank.free_at) + self.cfg.bank_occupancy;
         bank.hold_block(msg.block, t);
 
-        let view = bank.dir_view(msg.block);
+        let dir_bank = self.dir_bank_of(msg.block);
+        t = self.consult_dir_bank(bank_id, dir_bank, t);
+        let view = self.banks[dir_bank.index()].dir_view(msg.block);
         let wb = self.privs[msg.from.index()].wb_take(msg.block);
         match decide_put(msg.req, msg.from, &view) {
             PutOutcome::Accept {
@@ -801,7 +853,7 @@ impl Machine {
                     line.version = msg.version;
                     line.dirty = true;
                 }
-                let bank = &mut self.banks[bank_id.index()];
+                let bank = &mut self.banks[dir_bank.index()];
                 match new_view {
                     DirView::Untracked => bank.dir_remove(msg.block),
                     v => {
@@ -880,7 +932,19 @@ impl Machine {
         bank.free_at = start + self.cfg.bank_occupancy;
         let mut t = start + self.cfg.dir_latency;
 
-        let mut view = bank.dir_view(block);
+        // DLS keeps no directory entries; its demand path is different
+        // enough (remote shared accesses, forever-shared reclassification)
+        // to live apart.
+        if self.cfg.dir.is_dls() {
+            self.process_demand_dls(msg, t);
+            return;
+        }
+
+        // Opaque sharding: the entry lives at the opaque bank, an
+        // indirection hop away from the home for most blocks.
+        let dir_bank = self.dir_bank_of(block);
+        t = self.consult_dir_bank(bank_id, dir_bank, t);
+        let mut view = self.banks[dir_bank.index()].dir_view(block);
 
         // Stash discovery: directory miss + stash bit set.
         if self.cfg.dir.uses_stash()
@@ -922,7 +986,21 @@ impl Machine {
             }
         }
 
-        let outcome = decide(msg.req, requester, &view, self.cfg.cores);
+        let mut outcome = decide(msg.req, requester, &view, self.cfg.cores);
+        // An overflowed limited-pointer set claims *every* core, so the
+        // home cannot see that this upgrader's copy was invalidated while
+        // its request sat behind other transactions on the block (precise
+        // formats prune the requester from the set, and `decide` takes
+        // the needs-data path). Real limited-pointer protocols catch the
+        // crossed Inv at the requester and reissue the upgrade as a full
+        // GetM; model the outcome of that retry by shipping data with
+        // the grant.
+        if msg.req == Request::Upgrade
+            && !outcome.needs_data
+            && self.privs[requester.index()].state_of(block) == PrivState::Invalid
+        {
+            outcome.needs_data = true;
+        }
 
         // Probe phase: forwards and invalidations.
         let mut t_acks = t;
@@ -1003,12 +1081,12 @@ impl Machine {
             reconcile_view(outcome.new_view, requester, had_fwdgets && !owner_retained);
         let t_evict = match final_view {
             DirView::Untracked => {
-                self.banks[bank_id.index()].dir_remove(block);
+                self.banks[dir_bank.index()].dir_remove(block);
                 t
             }
             v => {
-                let action = self.banks[bank_id.index()].dir_install(block, v);
-                self.enact_dir_eviction(bank_id, action, t)
+                let action = self.banks[dir_bank.index()].dir_install(block, v);
+                self.enact_dir_eviction(dir_bank, action, t)
             }
         };
         t_acks = t_acks.max(t_evict);
@@ -1051,6 +1129,132 @@ impl Machine {
             data_version,
             fill_done,
         );
+        self.banks[bank_id.index()].hold_block(block, fill_done);
+        self.miss_latency
+            .record(fill_done.saturating_since(self.cores[requester.index()].issue_time));
+        self.queue.push(fill_done, Event::Issue(requester));
+    }
+
+    /// DLS demand handling (directoryless). The first toucher of a block
+    /// owns it (an unbounded owner-map entry, zero directory SRAM) and
+    /// fills its private cache; the moment a *second* core touches the
+    /// block, the owner's copy is recalled and the block is reclassified
+    /// shared **forever** — every later access is served at the home LLC
+    /// with no private fill. That remote-access stream is the cost DLS
+    /// trades its directory storage for, and what E18 measures.
+    ///
+    /// `t` already includes the home-bank serialization and the
+    /// classification lookup (page-table metadata, charged like a
+    /// directory access).
+    fn process_demand_dls(&mut self, msg: BankMsg, t: Cycle) {
+        let bank_id = self.home(msg.block);
+        let requester = msg.from;
+        let block = msg.block;
+        let mut t = t;
+
+        // Second-core touch on a private block: recall the owner's copy,
+        // then fall through to the shared (remote) path.
+        if !self.dls_shared.contains(&block) {
+            if let DirView::Exclusive(owner) = self.banks[bank_id.index()].dir_view(block) {
+                if owner != requester {
+                    let probe = Probe::Recall;
+                    let bank_node = bank_id.node();
+                    let probe_arr =
+                        self.deliver(bank_node, owner.node(), probe.flits(), probe.class(), t);
+                    let ans = self.privs[owner.index()].apply_probe(block, probe);
+                    let rep_arr = self.deliver(
+                        owner.node(),
+                        bank_node,
+                        ans.reply.flits(),
+                        ans.reply.class(),
+                        probe_arr,
+                    );
+                    t = t.max(rep_arr);
+                    if ans.reply == ProbeReply::AckDirtyData {
+                        let line = self.banks[bank_id.index()]
+                            .llc_peek_mut(block)
+                            // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
+                            .expect("LLC inclusion: tracked block resident");
+                        line.version = ans.version;
+                        line.dirty = true;
+                    }
+                    self.banks[bank_id.index()].dir_remove(block);
+                    self.banks[bank_id.index()]
+                        .backend
+                        .dls_reclassifications
+                        .incr();
+                    self.dls_shared.insert(block);
+                }
+            }
+        }
+
+        let was_resident = self.banks[bank_id.index()].llc_peek(block).is_some();
+        let (ready, _t_protocol) = self.ensure_llc_resident(bank_id, block, t);
+        if was_resident {
+            self.banks[bank_id.index()].llc_stats.hits.incr();
+        }
+        let version = self.banks[bank_id.index()]
+            .llc_access(block)
+            // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
+            .expect("just ensured resident")
+            .version;
+
+        if self.dls_shared.contains(&block) {
+            // Remote access: the op completes at the home LLC. Reads ship
+            // the data back; writes update the line in place and return a
+            // control ack.
+            self.banks[bank_id.index()]
+                .backend
+                .remote_llc_accesses
+                .incr();
+            let op = self.cores[requester.index()]
+                .pending
+                .take()
+                // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
+                .expect("demand completion matches a pending op");
+            debug_assert_eq!(op.block, block);
+            let done = match op.kind {
+                MemOpKind::Read => {
+                    self.values.on_read(requester, block, version);
+                    self.deliver(bank_id.node(), requester.node(), DATA_FLITS, "data", ready)
+                }
+                MemOpKind::Write => {
+                    let v = self.values.on_write(requester, block);
+                    let line = self.banks[bank_id.index()]
+                        .llc_peek_mut(block)
+                        // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
+                        .expect("just ensured resident");
+                    line.version = v;
+                    line.dirty = true;
+                    self.deliver(
+                        bank_id.node(),
+                        requester.node(),
+                        CONTROL_FLITS,
+                        "ack",
+                        ready,
+                    )
+                }
+            };
+            self.cores[requester.index()].ops_done += 1;
+            self.banks[bank_id.index()].hold_block(block, done);
+            self.miss_latency
+                .record(done.saturating_since(self.cores[requester.index()].issue_time));
+            self.queue.push(done, Event::Issue(requester));
+            return;
+        }
+
+        // Private path (first toucher, or the owner refetching after its
+        // own eviction): grant the whole block exclusively.
+        let action = self.banks[bank_id.index()].dir_install(block, DirView::Exclusive(requester));
+        debug_assert!(action.is_none(), "the DLS owner map never evicts");
+        let grant = if msg.req == Request::GetS {
+            Grant::Exclusive
+        } else {
+            Grant::Modified
+        };
+        let arr = self.deliver(bank_id.node(), requester.node(), DATA_FLITS, "data", ready);
+        let fill_done = arr + self.cfg.l2.latency;
+        self.complete_demand(requester, msg.req, grant, true, version, fill_done);
         self.banks[bank_id.index()].hold_block(block, fill_done);
         self.miss_latency
             .record(fill_done.saturating_since(self.cores[requester.index()].issue_time));
@@ -1154,7 +1358,11 @@ impl Machine {
     /// copies (inclusion), writing dirty data back to DRAM. Returns when
     /// the protocol actions complete.
     fn evict_llc_line(&mut self, bank_id: BankId, victim: BlockAddr, t: Cycle) -> Cycle {
-        let view = self.banks[bank_id.index()].dir_view(victim);
+        // The victim's entry may live at an opaque bank; consult (and
+        // later clear) it there.
+        let dir_bank = self.dir_bank_of(victim);
+        let t = self.consult_dir_bank(bank_id, dir_bank, t);
+        let view = self.banks[dir_bank.index()].dir_view(victim);
         let mut t_done = t;
         let mut line = *self.banks[bank_id.index()]
             .llc_peek(victim)
@@ -1202,8 +1410,8 @@ impl Machine {
                         line.dirty = true;
                     }
                 }
+                self.banks[dir_bank.index()].dir_remove(victim);
                 let bank = &mut self.banks[bank_id.index()];
-                bank.dir_remove(victim);
                 bank.stats.llc_recalls.incr();
                 bank.stats.inclusion_invalidations.add(holders.len() as u64);
             }
@@ -1223,15 +1431,22 @@ impl Machine {
     /// Enacts a directory-eviction action returned by an install: sets the
     /// stash bit for silent victims, invalidates the holders of
     /// conventional victims. Returns when the action's probes complete.
+    ///
+    /// `bank_id` is the bank whose slice evicted — the victim's home for
+    /// every organization except opaque, whose shards evict blocks homed
+    /// at *other* banks; the victim's stash bit and LLC data always live
+    /// at `home(victim)`.
     fn enact_dir_eviction(&mut self, bank_id: BankId, action: EvictionAction, t: Cycle) -> Cycle {
         match action {
             EvictionAction::None => t,
             EvictionAction::Silent { block, .. } => {
                 // The stash mechanism: remember a hidden copy may exist.
-                self.banks[bank_id.index()].set_stash_bit(block, true);
+                let home = self.home(block);
+                self.banks[home.index()].set_stash_bit(block, true);
                 t
             }
             EvictionAction::Invalidate { block, view } => {
+                let home = self.home(block);
                 let holders = view.holders();
                 let probe = match &view {
                     DirView::Exclusive(_) => Probe::Recall,
@@ -1252,7 +1467,7 @@ impl Machine {
                     );
                     t_done = t_done.max(rep_arr);
                     if ans.reply == ProbeReply::AckDirtyData {
-                        let line = self.banks[bank_id.index()]
+                        let line = self.banks[home.index()]
                             .llc_peek_mut(block)
                             // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                             .expect("LLC inclusion: tracked block resident");
@@ -1343,14 +1558,36 @@ impl Machine {
             sink.merge(&shard);
         }
 
+        // Backend counters exist only for configs that can move them
+        // (`has_backend_stats` is a pure function of the config), so every
+        // legacy organization's report keeps its exact historical key set.
+        let backend_stats = self.cfg.dir.has_backend_stats();
         let mut dir_occupancy = 0usize;
         for b in &self.banks {
             let mut shard = StatSink::new();
             b.llc_stats.export_counters("llc", &mut shard);
             b.dir().stats().export("dir", &mut shard);
             b.stats.export("bank", &mut shard);
+            if backend_stats {
+                b.backend.export("backend", &mut shard);
+            }
             sink.merge(&shard);
             dir_occupancy += b.dir().occupancy();
+        }
+        if backend_stats && self.cfg.dir.is_opaque() {
+            // Opaque-map load spread: max/mean of per-bank directory-shard
+            // accesses (1.0 = perfectly balanced, 0.0 = no accesses).
+            let per_bank: Vec<u64> = self
+                .banks
+                .iter()
+                .map(|b| b.backend.dir_bank_accesses.get())
+                .collect();
+            let max = per_bank.iter().copied().max().unwrap_or(0) as f64;
+            let mean = per_bank.iter().sum::<u64>() as f64 / per_bank.len().max(1) as f64;
+            sink.put(
+                "backend.dir_bank_imbalance",
+                if mean > 0.0 { max / mean } else { 0.0 },
+            );
         }
 
         // Counter sums are exact in f64 (well below 2^53), so these
@@ -1764,6 +2001,11 @@ mod tests {
             DirSpec::Cuckoo {
                 coverage: CoverageRatio::new(1, 8),
             },
+            DirSpec::Dls,
+            DirSpec::Opaque {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+            },
         ];
         for spec in specs {
             for notify in [true, false] {
@@ -1827,6 +2069,117 @@ mod tests {
             stash_slowdown < 1.15,
             "stash within 15% of fullmap, got {stash_slowdown:.3}"
         );
+    }
+
+    #[test]
+    fn dls_private_blocks_cache_normally() {
+        let mut traces = no_ops(4);
+        traces[0] = vec![MemOp::read(BlockAddr::new(0)); 10];
+        let report = run(tiny(DirSpec::Dls), traces);
+        assert_eq!(report.completed_ops, 10);
+        assert_eq!(report.stat("l1.hits"), 9.0, "single-toucher blocks fill");
+        assert_eq!(report.stat("backend.remote_llc_accesses"), 0.0);
+        assert_eq!(report.stat("dir.storage_bits"), 0.0, "DLS has no SRAM");
+    }
+
+    #[test]
+    fn dls_reclassifies_shared_blocks_to_remote_access() {
+        let b = BlockAddr::new(5);
+        let mut traces = no_ops(4);
+        for _ in 0..20 {
+            traces[0].push(MemOp::write(b).with_think(7));
+            traces[1].push(MemOp::read(b).with_think(5));
+        }
+        let report = run(tiny(DirSpec::Dls), traces);
+        assert_eq!(report.completed_ops, 40);
+        assert_eq!(
+            report.stat("backend.dls_reclassifications"),
+            1.0,
+            "the block crosses private→shared exactly once"
+        );
+        assert!(
+            report.stat("backend.remote_llc_accesses") >= 30.0,
+            "once shared, every touch is remote: {}",
+            report.stat("backend.remote_llc_accesses")
+        );
+        assert_eq!(
+            report.stat("noc.messages.fwd"),
+            0.0,
+            "no owner forwards: shared data lives at the LLC"
+        );
+    }
+
+    #[test]
+    fn opaque_demands_take_indirection_hops() {
+        // Private streaming across all four cores: most blocks' opaque
+        // bank differs from their home, so demands pay indirection.
+        let mut traces = no_ops(4);
+        for (c, trace) in traces.iter_mut().enumerate() {
+            for i in 0..32u64 {
+                trace.push(MemOp::read(BlockAddr::new(1000 + c as u64 * 512 + i * 4)));
+            }
+        }
+        let report = run(
+            tiny(DirSpec::Opaque {
+                coverage: CoverageRatio::new(1, 8),
+                assoc: 2,
+            }),
+            traces,
+        );
+        assert!(report.stat("backend.indirection_hops") > 0.0);
+        assert!(report.stat("backend.dir_bank_accesses") > 0.0);
+        assert!(
+            report.stat("backend.dir_bank_imbalance") >= 1.0,
+            "imbalance is max/mean"
+        );
+        assert!(
+            report.stat("noc.messages.dir") > 0.0,
+            "indirection legs ride the dir message class"
+        );
+    }
+
+    #[test]
+    fn opaque_shares_and_invalidates_coherently() {
+        // Producer/consumer sharing plus enough private streaming to force
+        // opaque-shard conflict evictions of blocks homed at other banks.
+        let hot = BlockAddr::new(5);
+        let mut traces = no_ops(4);
+        for i in 0..40u64 {
+            traces[0].push(MemOp::write(hot).with_think(7));
+            traces[1].push(MemOp::read(hot).with_think(5));
+            traces[2].push(MemOp::read(BlockAddr::new(2000 + i * 4)).with_think(3));
+            traces[3].push(MemOp::read(BlockAddr::new(4000 + i * 4)).with_think(3));
+        }
+        let report = run(
+            tiny(DirSpec::Opaque {
+                coverage: CoverageRatio::new(1, 16),
+                assoc: 2,
+            }),
+            traces,
+        );
+        assert_eq!(report.completed_ops, 160);
+        assert!(
+            report.stat("dir.copies_invalidated") > 0.0,
+            "opaque shards invalidate on conflict like sparse"
+        );
+    }
+
+    #[test]
+    fn legacy_backends_report_no_backend_keys() {
+        let mut traces = no_ops(4);
+        traces[0].push(MemOp::read(BlockAddr::new(1)));
+        for spec in [
+            DirSpec::FullMap,
+            DirSpec::stash(CoverageRatio::new(1, 8)),
+            DirSpec::sparse(CoverageRatio::new(1, 8)),
+        ] {
+            let report = run(tiny(spec), no_ops(4));
+            assert!(
+                report.sink.get("backend.remote_llc_accesses").is_none(),
+                "{spec}: legacy reports must keep their exact key set"
+            );
+        }
+        let _ = traces;
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Property tests for the `DirSpec` grammar: every backend kind's
+//! `Display` rendering must parse back to the same spec (the sweep CLI,
+//! case ids and CSV labels all round-trip through this pair), and an
+//! unknown kind must name every valid one in its error.
+
+use proptest::prelude::*;
+use stashdir_core::DirReplPolicy;
+use stashdir_sim::{CoverageRatio, DirSpec};
+
+const VALID_KINDS: [&str; 7] = [
+    "fullmap",
+    "sparse",
+    "stash",
+    "cuckoo",
+    "limited-ptr",
+    "dls",
+    "opaque",
+];
+
+fn coverage() -> impl Strategy<Value = CoverageRatio> {
+    (1u32..5, 1u32..33).prop_map(|(num, den)| CoverageRatio::new(num, den))
+}
+
+/// Specs as the parser produces them: every kind, with the per-kind
+/// default replacement policy (the grammar does not encode `repl`).
+fn any_spec() -> impl Strategy<Value = DirSpec> {
+    prop_oneof![
+        Just(DirSpec::FullMap),
+        Just(DirSpec::Dls),
+        (coverage(), 1usize..17).prop_map(|(coverage, assoc)| DirSpec::Sparse {
+            coverage,
+            assoc,
+            repl: DirReplPolicy::Lru,
+        }),
+        (coverage(), 1usize..17).prop_map(|(coverage, assoc)| DirSpec::Stash {
+            coverage,
+            assoc,
+            repl: DirReplPolicy::PrivateFirstLru,
+        }),
+        coverage().prop_map(|coverage| DirSpec::Cuckoo { coverage }),
+        (coverage(), 1usize..17, 1u8..13)
+            .prop_map(|(coverage, assoc, k)| { DirSpec::LimitedPtr { coverage, assoc, k } }),
+        (coverage(), 1usize..17).prop_map(|(coverage, assoc)| DirSpec::Opaque { coverage, assoc }),
+    ]
+}
+
+/// Random lowercase identifiers for the unknown-kind property.
+fn lowercase_word() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..13)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+proptest! {
+    #[test]
+    fn display_parses_back_to_the_same_spec(spec in any_spec()) {
+        let shown = spec.to_string();
+        let parsed: DirSpec = shown.parse().expect("Display output must parse");
+        prop_assert_eq!(parsed, spec);
+        // And the rendering is a fixed point: no canonicalization drift.
+        prop_assert_eq!(parsed.to_string(), shown);
+    }
+
+    #[test]
+    fn unknown_kinds_name_every_valid_kind(kind in lowercase_word()) {
+        if VALID_KINDS.contains(&kind.as_str()) {
+            return Ok(()); // sampled a real kind; nothing to check
+        }
+        let err = kind.parse::<DirSpec>().expect_err("unknown kind must not parse");
+        for name in VALID_KINDS {
+            prop_assert!(
+                err.contains(name),
+                "error `{}` does not name valid kind `{}`",
+                err,
+                name
+            );
+        }
+    }
+}

@@ -90,6 +90,44 @@ fn scaling_to_32_cores_is_coherent() {
 }
 
 #[test]
+fn every_workload_is_coherent_under_dls_and_opaque() {
+    for dir in [DirSpec::Dls, DirSpec::opaque(CoverageRatio::new(1, 8))] {
+        for workload in Workload::suite() {
+            let cfg = small_config(dir);
+            let traces = workload.generate(cfg.cores, 2_000, 17);
+            let report = Machine::new(cfg).run(traces);
+            assert!(
+                report.violations.is_empty(),
+                "{workload} on {dir}: {:?}",
+                &report.violations[..report.violations.len().min(3)]
+            );
+            assert_eq!(report.completed_ops, 8 * 2_000, "{workload} on {dir}");
+        }
+    }
+}
+
+/// Regression: an Upgrade queued behind other transactions on its block
+/// can lose its Shared copy to a crossing invalidation; an *overflowed*
+/// limited-pointer entry claims every core, so the home cannot prune the
+/// requester from the view and used to grant data-less permission to a
+/// dead copy ("data-less grant targets a live copy" panic, E18 migratory
+/// at 10k ops). The home now refills such upgrades with data, modelling
+/// the requester's retry-as-GetM.
+#[test]
+fn overflowed_upgrade_crossing_an_inv_refills_data() {
+    let spec = DirSpec::LimitedPtr {
+        coverage: CoverageRatio::new(576, 4096),
+        assoc: 9,
+        k: 2,
+    };
+    let cfg = SystemConfig::default().with_dir(spec);
+    let traces = Workload::Migratory.generate(cfg.cores, 6_000, 7);
+    let report = Machine::new(cfg).run(traces);
+    report.assert_clean();
+    assert_eq!(report.completed_ops, 16 * 6_000);
+}
+
+#[test]
 fn limited_pointer_formats_stay_coherent() {
     use stashdir::SharerFormat;
     for k in [1usize, 2] {
