@@ -14,10 +14,18 @@ echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
 # Protocol-aware static analysis: transition-matrix coverage against the
-# model checker, panic hygiene in hot crates, stat registration. Writes
-# results/lint/transition_matrix.json and fails on any finding.
+# model checker, waits-for liveness, panic hygiene in hot crates,
+# artifact determinism, and stat registration. Prints per-pass timings,
+# writes results/lint/transition_matrix.json (v1) and
+# results/lint/protocol_model.json (v2), plus the machine-readable
+# findings list, and fails on any finding. The v2 model is then checked
+# under the v1-compat reader so old artifact consumers keep working.
 echo "== stashdir-lint"
-cargo run -q -p stashdir-lint --offline -- --root .
+cargo run -q -p stashdir-lint --offline -- --root . \
+  --json results/lint/findings.json
+echo "== stashdir-lint --verify-v1"
+cargo run -q -p stashdir-lint --offline -- \
+  --verify-v1 results/lint/protocol_model.json
 
 # Chaos smoke (E17): one injected fault per taxonomy class on a small
 # grid; the run fails unless every class is caught by its expected

@@ -22,6 +22,7 @@
 
 pub mod addr;
 pub mod cycles;
+pub mod fsio;
 pub mod fxhash;
 pub mod ids;
 pub mod json;

@@ -89,7 +89,9 @@ impl DirectoryModel for DlsDirectory {
     }
 
     fn entries(&self) -> Vec<(BlockAddr, DirView)> {
-        self.owners.iter().map(|(b, v)| (*b, v.clone())).collect()
+        let mut v: Vec<_> = self.owners.iter().map(|(b, v)| (*b, v.clone())).collect();
+        v.sort_by_key(|(b, _)| *b);
+        v
     }
 
     fn stats(&self) -> &DirStats {

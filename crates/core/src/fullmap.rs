@@ -76,7 +76,9 @@ impl DirectoryModel for FullMapDirectory {
     }
 
     fn entries(&self) -> Vec<(BlockAddr, DirView)> {
-        self.map.iter().map(|(b, v)| (*b, v.clone())).collect()
+        let mut v: Vec<_> = self.map.iter().map(|(b, v)| (*b, v.clone())).collect();
+        v.sort_by_key(|(b, _)| *b);
+        v
     }
 
     fn stats(&self) -> &DirStats {

@@ -35,7 +35,13 @@
 pub mod artifact;
 pub mod digest;
 pub mod experiments;
-pub mod fsio;
+pub mod fsio {
+    //! Durable-write discipline for run artifacts — atomic temp+rename
+    //! writes and corrupt-file quarantine. The implementation lives in
+    //! [`stashdir::common::fsio`] so artifact writers outside the harness
+    //! (the lint binary, future tools) share the same discipline.
+    pub use stashdir::common::fsio::{quarantine, write_atomic};
+}
 pub mod manifest;
 pub mod params;
 pub mod plan;

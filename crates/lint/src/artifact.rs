@@ -1,9 +1,29 @@
-//! JSON artifact emission for the transition matrix, via
-//! `stashdir-common::json` (no external serializers).
+//! JSON artifact emission, via `stashdir-common::json` (no external
+//! serializers):
+//!
+//! * [`matrix_json`] — the v1 `stashdir-lint/transition-matrix/v1`
+//!   artifact, kept byte-identical for downstream readers.
+//! * [`model_json`] — the v2 `stashdir/protocol-model/v2` artifact: a
+//!   strict superset of v1 (same `sections`/`findings` shape) plus a
+//!   `model` object carrying the waits-for graph.
+//! * [`findings_json`] — the machine-readable findings list for
+//!   `lint --json`.
+//! * [`verify_v1_compat`] — checks that an artifact is readable under
+//!   the v1 shape, so the v2 schema cannot silently drop what v1
+//!   consumers parse.
 
 use crate::coverage::Section;
+use crate::directives::SUPPRESSIBLE;
+use crate::waitsfor::WaitsForModel;
 use crate::Finding;
 use stashdir_common::json::Value;
+
+/// Schema identifier of the v1 transition-matrix artifact.
+pub const SCHEMA_V1: &str = "stashdir-lint/transition-matrix/v1";
+/// Schema identifier of the v2 protocol-model artifact.
+pub const SCHEMA_V2: &str = "stashdir/protocol-model/v2";
+/// Schema identifier of the findings artifact.
+pub const SCHEMA_FINDINGS: &str = "stashdir-lint/findings/v1";
 
 fn pair_array(pairs: impl Iterator<Item = (String, String)>) -> Value {
     Value::array(
@@ -60,16 +80,112 @@ fn section_json(s: &Section) -> Value {
     ])
 }
 
-/// Renders the full transition-matrix artifact.
+fn finding_json(f: &Finding) -> Value {
+    Value::object(vec![
+        ("rule".to_string(), Value::String(f.rule.clone())),
+        ("file".to_string(), Value::String(f.file.clone())),
+        ("line".to_string(), Value::Number(f.line as f64)),
+        ("message".to_string(), Value::String(f.message.clone())),
+    ])
+}
+
+fn findings_array(findings: &[Finding]) -> Value {
+    Value::array(findings.iter().map(finding_json).collect())
+}
+
+/// Renders the full transition-matrix artifact (v1 — kept byte-stable).
 pub fn matrix_json(sections: &[Section], findings: &[Finding]) -> Value {
     Value::object(vec![
-        (
-            "schema".to_string(),
-            Value::String("stashdir-lint/transition-matrix/v1".to_string()),
-        ),
+        ("schema".to_string(), Value::String(SCHEMA_V1.to_string())),
         (
             "sections".to_string(),
             Value::array(sections.iter().map(section_json).collect()),
+        ),
+        ("findings".to_string(), findings_array(findings)),
+    ])
+}
+
+fn waits_json(waits: &WaitsForModel) -> Value {
+    let requesters = waits
+        .requesters
+        .iter()
+        .map(|r| {
+            Value::object(vec![
+                ("state".to_string(), Value::String(r.state.clone())),
+                ("op".to_string(), Value::String(r.op.clone())),
+                (
+                    "blocks_on".to_string(),
+                    match &r.request {
+                        Some(req) => Value::String(req.clone()),
+                        None => Value::Null,
+                    },
+                ),
+                ("line".to_string(), Value::Number(r.line as f64)),
+            ])
+        })
+        .collect();
+    let home = waits
+        .home
+        .iter()
+        .map(|h| {
+            Value::object(vec![
+                ("request".to_string(), Value::String(h.request.clone())),
+                ("view".to_string(), Value::String(h.view.clone())),
+                (
+                    "emits".to_string(),
+                    Value::array(
+                        h.emits
+                            .iter()
+                            .map(|(p, _)| Value::String(p.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("grants".to_string(), label_array(&h.grants)),
+                ("model_emits".to_string(), label_array(&h.model_emits)),
+                ("model_grants".to_string(), label_array(&h.model_grants)),
+                ("reachable".to_string(), Value::Bool(h.reachable)),
+                ("line".to_string(), Value::Number(h.line as f64)),
+            ])
+        })
+        .collect();
+    let probes = waits
+        .probes
+        .iter()
+        .map(|p| {
+            Value::object(vec![
+                ("probe".to_string(), Value::String(p.probe.clone())),
+                ("handled_states".to_string(), label_array(&p.handled_states)),
+                ("escape".to_string(), Value::Bool(p.escape)),
+            ])
+        })
+        .collect();
+    Value::object(vec![
+        ("requesters".to_string(), Value::array(requesters)),
+        ("home".to_string(), Value::array(home)),
+        ("probes".to_string(), Value::array(probes)),
+    ])
+}
+
+/// Renders the v2 protocol-model artifact: the v1 sections and findings
+/// verbatim, plus the waits-for graph under `model`.
+pub fn model_json(sections: &[Section], waits: &WaitsForModel, findings: &[Finding]) -> Value {
+    Value::object(vec![
+        ("schema".to_string(), Value::String(SCHEMA_V2.to_string())),
+        (
+            "sections".to_string(),
+            Value::array(sections.iter().map(section_json).collect()),
+        ),
+        ("model".to_string(), waits_json(waits)),
+        ("findings".to_string(), findings_array(findings)),
+    ])
+}
+
+/// Renders the machine-readable findings artifact for `lint --json`.
+pub fn findings_json(findings: &[Finding]) -> Value {
+    Value::object(vec![
+        (
+            "schema".to_string(),
+            Value::String(SCHEMA_FINDINGS.to_string()),
         ),
         (
             "findings".to_string(),
@@ -78,14 +194,130 @@ pub fn matrix_json(sections: &[Section], findings: &[Finding]) -> Value {
                     .iter()
                     .map(|f| {
                         Value::object(vec![
+                            (
+                                "pass".to_string(),
+                                Value::String(pass_of(&f.rule).to_string()),
+                            ),
                             ("rule".to_string(), Value::String(f.rule.clone())),
+                            (
+                                "severity".to_string(),
+                                Value::String(severity_of(&f.rule).to_string()),
+                            ),
                             ("file".to_string(), Value::String(f.file.clone())),
                             ("line".to_string(), Value::Number(f.line as f64)),
                             ("message".to_string(), Value::String(f.message.clone())),
+                            (
+                                "suppressible".to_string(),
+                                Value::Bool(SUPPRESSIBLE.contains(&f.rule.as_str())),
+                            ),
                         ])
                     })
                     .collect(),
             ),
         ),
     ])
+}
+
+/// The pass a rule belongs to, as surfaced in the findings artifact.
+pub fn pass_of(rule: &str) -> &'static str {
+    match rule {
+        crate::RULE_COVERAGE_UNCOVERED | crate::RULE_COVERAGE_DEAD | crate::RULE_COVERAGE_PARSE => {
+            "coverage"
+        }
+        crate::RULE_WAITSFOR_UNSATISFIABLE | crate::RULE_WAITSFOR_CYCLE => "waitsfor",
+        crate::RULE_UNWRAP | crate::RULE_EXPECT | crate::RULE_INDEXING => "panics",
+        crate::RULE_DETERMINISM => "determinism",
+        crate::RULE_STAT_UNREGISTERED => "statreg",
+        crate::RULE_DIRECTIVE | crate::RULE_ALLOW_UNUSED => "directives",
+        _ => "unknown",
+    }
+}
+
+/// Finding severity: liveness and coverage defects are errors; stale
+/// directives are warnings (still gate-failing, but mechanical to fix).
+pub fn severity_of(rule: &str) -> &'static str {
+    match rule {
+        crate::RULE_ALLOW_UNUSED => "warning",
+        _ => "error",
+    }
+}
+
+/// Checks that `artifact` parses under the v1 reader shape: a known
+/// schema id, a `sections` array whose entries carry the v1 keys, and a
+/// `findings` array of `{rule, file, line, message}` objects. Accepts
+/// both the v1 and v2 schema ids — the v2 artifact must stay readable by
+/// v1 consumers that ignore unknown keys.
+pub fn verify_v1_compat(artifact: &Value) -> Result<(), String> {
+    let obj = artifact.as_object().ok_or("artifact is not an object")?;
+    let get = |key: &str| -> Result<&Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key `{key}`"))
+    };
+    let schema = get("schema")?.as_str().ok_or("`schema` is not a string")?;
+    if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
+        return Err(format!("unknown schema `{schema}`"));
+    }
+    let sections = get("sections")?
+        .as_array()
+        .ok_or("`sections` is not an array")?;
+    for (i, s) in sections.iter().enumerate() {
+        let s_obj = s
+            .as_object()
+            .ok_or_else(|| format!("section {i} is not an object"))?;
+        for key in [
+            "name",
+            "rows",
+            "cols",
+            "source",
+            "reachable",
+            "race_allowed",
+            "uncovered",
+            "dead",
+        ] {
+            let v = s_obj
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("section {i} missing key `{key}`"))?;
+            let ok = if key == "name" {
+                v.as_str().is_some()
+            } else {
+                v.as_array().is_some()
+            };
+            if !ok {
+                return Err(format!("section {i} key `{key}` has the wrong type"));
+            }
+        }
+    }
+    let findings = get("findings")?
+        .as_array()
+        .ok_or("`findings` is not an array")?;
+    for (i, f) in findings.iter().enumerate() {
+        let f_obj = f
+            .as_object()
+            .ok_or_else(|| format!("finding {i} is not an object"))?;
+        for (key, want_str) in [
+            ("rule", true),
+            ("file", true),
+            ("line", false),
+            ("message", true),
+        ] {
+            let v = f_obj
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("finding {i} missing key `{key}`"))?;
+            let ok = if want_str {
+                v.as_str().is_some()
+            } else {
+                v.as_f64().is_some()
+            };
+            if !ok {
+                return Err(format!("finding {i} key `{key}` has the wrong type"));
+            }
+        }
+    }
+    Ok(())
 }

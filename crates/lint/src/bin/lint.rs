@@ -1,20 +1,70 @@
 //! The `lint` binary: runs every `stashdir-lint` pass over a repo root,
-//! prints findings, writes the transition-matrix artifact, and exits
+//! prints findings and per-pass timings, writes the artifacts, and exits
 //! non-zero when anything fires.
 //!
 //! ```text
-//! usage: lint [--root DIR] [--artifact FILE | --no-artifact] [--quiet]
+//! usage: lint [--root DIR] [--artifact FILE | --no-artifact]
+//!             [--model FILE] [--json FILE] [--quiet]
+//!        lint --verify-v1 FILE
 //! ```
 //!
-//! Defaults: `--root .`, artifact at
-//! `<root>/results/lint/transition_matrix.json`.
+//! Defaults: `--root .`, v1 artifact at
+//! `<root>/results/lint/transition_matrix.json`, v2 protocol model at
+//! `<root>/results/lint/protocol_model.json`. `--json FILE` additionally
+//! writes the machine-readable findings artifact. All artifact writes go
+//! through the shared atomic temp+rename discipline
+//! (`stashdir_common::fsio`).
+//!
+//! `--verify-v1 FILE` is a standalone mode: it parses `FILE` and checks
+//! it is readable under the v1 artifact shape (both schema ids accepted),
+//! exiting 0/1 — `ci.sh` runs it against the freshly written v2 model.
 
-use std::path::PathBuf;
+use stashdir_common::fsio::write_atomic;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+fn write_artifact(path: &Path, value: &stashdir_common::json::Value) -> Result<(), ExitCode> {
+    let mut text = value.render_pretty();
+    text.push('\n');
+    write_atomic(path, &text).map_err(|e| {
+        eprintln!("lint: cannot write {}: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+fn verify_v1(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lint: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let value = match stashdir_common::json::Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: {} is not valid JSON: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    };
+    match stashdir_lint::artifact::verify_v1_compat(&value) {
+        Ok(()) => {
+            println!("lint: {} is v1-readable", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lint: {} fails the v1 reader: {e}", path.display());
+            ExitCode::from(1)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut artifact: Option<PathBuf> = None;
+    let mut model: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut verify: Option<PathBuf> = None;
     let mut no_artifact = false;
     let mut quiet = false;
 
@@ -29,11 +79,27 @@ fn main() -> ExitCode {
                 Some(v) => artifact = Some(PathBuf::from(v)),
                 None => return usage("--artifact needs a value"),
             },
+            "--model" => match args.next() {
+                Some(v) => model = Some(PathBuf::from(v)),
+                None => return usage("--model needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--verify-v1" => match args.next() {
+                Some(v) => verify = Some(PathBuf::from(v)),
+                None => return usage("--verify-v1 needs a value"),
+            },
             "--no-artifact" => no_artifact = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if let Some(path) = verify {
+        return verify_v1(&path);
     }
 
     let report = match stashdir_lint::run(&root) {
@@ -44,26 +110,41 @@ fn main() -> ExitCode {
         }
     };
 
+    if !quiet {
+        let total: f64 = report.timings.iter().map(|t| t.millis).sum();
+        let laps: Vec<String> = report
+            .timings
+            .iter()
+            .map(|t| format!("{} {:.0}ms", t.name, t.millis))
+            .collect();
+        println!("lint: passes: {} (total {total:.0}ms)", laps.join(", "));
+    }
+
     if !no_artifact {
-        let path = artifact.unwrap_or_else(|| {
-            root.join("results")
-                .join("lint")
-                .join("transition_matrix.json")
-        });
-        if let Some(dir) = path.parent() {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("lint: cannot create {}: {e}", dir.display());
-                return ExitCode::from(2);
-            }
+        let lint_dir = root.join("results").join("lint");
+        let matrix_path = artifact.unwrap_or_else(|| lint_dir.join("transition_matrix.json"));
+        if let Err(code) = write_artifact(&matrix_path, &report.matrix) {
+            return code;
         }
-        let mut text = report.matrix.render_pretty();
-        text.push('\n');
-        if let Err(e) = std::fs::write(&path, text) {
-            eprintln!("lint: cannot write {}: {e}", path.display());
-            return ExitCode::from(2);
+        let model_path = model.unwrap_or_else(|| lint_dir.join("protocol_model.json"));
+        if let Err(code) = write_artifact(&model_path, &report.model) {
+            return code;
         }
         if !quiet {
-            println!("lint: transition matrix written to {}", path.display());
+            println!(
+                "lint: transition matrix written to {}",
+                matrix_path.display()
+            );
+            println!("lint: protocol model written to {}", model_path.display());
+        }
+    }
+    if let Some(path) = json {
+        let findings = stashdir_lint::artifact::findings_json(&report.findings);
+        if let Err(code) = write_artifact(&path, &findings) {
+            return code;
+        }
+        if !quiet {
+            println!("lint: findings written to {}", path.display());
         }
     }
 
@@ -85,7 +166,9 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("lint: {err}");
     }
-    eprintln!("usage: lint [--root DIR] [--artifact FILE | --no-artifact] [--quiet]");
+    eprintln!(
+        "usage: lint [--root DIR] [--artifact FILE | --no-artifact] [--model FILE] [--json FILE] [--quiet]\n       lint --verify-v1 FILE"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

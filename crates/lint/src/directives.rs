@@ -1,0 +1,174 @@
+//! Centralized `// lint:` directive handling: parsing, validation, rule
+//! suppression, and staleness accounting.
+//!
+//! Directives are ordinary comments:
+//!
+//! * `// lint: allow(unwrap)` — allows the named rule(s) on the
+//!   directive's own line and the line below it (so it works both as a
+//!   trailing comment and as a comment above the call).
+//! * `// lint: allow-file(indexing)` — allows the rule(s) for the whole
+//!   file.
+//!
+//! Every directive is tracked: one that suppresses nothing by the end of
+//! the run is itself a finding ([`crate::RULE_ALLOW_UNUSED`]), so stale
+//! allows cannot rot silently after refactors. Unknown rule names are
+//! findings too ([`crate::RULE_DIRECTIVE`]) — a typo must not disable a
+//! rule.
+
+use crate::files::SourceFile;
+use crate::lexer::{lex, TokKind};
+use crate::{
+    Finding, RULE_ALLOW_UNUSED, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_EXPECT, RULE_INDEXING,
+    RULE_UNWRAP,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The rules an allow directive may name.
+pub const SUPPRESSIBLE: &[&str] = &[RULE_UNWRAP, RULE_EXPECT, RULE_INDEXING, RULE_DETERMINISM];
+
+/// One parsed allow directive.
+#[derive(Debug, Clone)]
+struct Directive {
+    rule: String,
+    /// Line the comment sits on.
+    line: u32,
+    file_wide: bool,
+}
+
+#[derive(Debug, Default)]
+struct FileDirectives {
+    directives: Vec<Directive>,
+    /// rule → file-wide directive lines.
+    file_rules: BTreeMap<String, Vec<u32>>,
+    /// rule → (covered line → directive line).
+    line_rules: BTreeMap<String, BTreeMap<u32, u32>>,
+    /// `(directive line, rule)` pairs that suppressed at least one site.
+    used: BTreeSet<(u32, String)>,
+}
+
+/// The repo-wide directive index. Passes ask [`DirectiveIndex::allows`]
+/// before reporting a suppressible finding; [`DirectiveIndex::finish`]
+/// yields the parse findings plus one finding per never-used directive.
+#[derive(Debug, Default)]
+pub struct DirectiveIndex {
+    files: BTreeMap<String, FileDirectives>,
+    findings: Vec<Finding>,
+}
+
+impl DirectiveIndex {
+    /// Parses every `lint:` directive out of the comment tokens of
+    /// `files`.
+    pub fn collect(files: &[SourceFile]) -> DirectiveIndex {
+        let mut index = DirectiveIndex::default();
+        for f in files {
+            index.collect_file(&f.label, &f.src);
+        }
+        index
+    }
+
+    /// Parses one file's directives into the index.
+    pub fn collect_file(&mut self, file: &str, src: &str) {
+        let entry = self.files.entry(file.to_string()).or_default();
+        for t in lex(src).iter().filter(|t| t.kind == TokKind::Comment) {
+            let Some(at) = t.text.find("lint:") else {
+                continue;
+            };
+            let rest = t.text[at + "lint:".len()..].trim_start();
+            let (file_wide, args) = if let Some(a) = rest.strip_prefix("allow-file(") {
+                (true, a)
+            } else if let Some(a) = rest.strip_prefix("allow(") {
+                (false, a)
+            } else {
+                self.findings.push(Finding {
+                    rule: RULE_DIRECTIVE.to_string(),
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!("unrecognized lint directive: `{}`", rest.trim_end()),
+                });
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                self.findings.push(Finding {
+                    rule: RULE_DIRECTIVE.to_string(),
+                    file: file.to_string(),
+                    line: t.line,
+                    message: "unterminated lint directive".to_string(),
+                });
+                continue;
+            };
+            for rule in args[..close].split(',').map(str::trim) {
+                if !SUPPRESSIBLE.contains(&rule) {
+                    self.findings.push(Finding {
+                        rule: RULE_DIRECTIVE.to_string(),
+                        file: file.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "unknown rule `{rule}` in lint directive (known: {SUPPRESSIBLE:?})"
+                        ),
+                    });
+                    continue;
+                }
+                entry.directives.push(Directive {
+                    rule: rule.to_string(),
+                    line: t.line,
+                    file_wide,
+                });
+                if file_wide {
+                    entry
+                        .file_rules
+                        .entry(rule.to_string())
+                        .or_default()
+                        .push(t.line);
+                } else {
+                    let lines = entry.line_rules.entry(rule.to_string()).or_default();
+                    lines.insert(t.line, t.line);
+                    lines.insert(t.line + 1, t.line);
+                }
+            }
+        }
+    }
+
+    /// Whether `rule` is allowed at `file:line`, marking the covering
+    /// directive as used. Line directives take precedence over file-wide
+    /// ones so a redundant narrow allow still registers as exercised.
+    pub fn allows(&mut self, file: &str, rule: &str, line: u32) -> bool {
+        let Some(entry) = self.files.get_mut(file) else {
+            return false;
+        };
+        if let Some(&directive_line) = entry.line_rules.get(rule).and_then(|m| m.get(&line)) {
+            entry.used.insert((directive_line, rule.to_string()));
+            return true;
+        }
+        if let Some(lines) = entry.file_rules.get(rule) {
+            if let Some(&first) = lines.first() {
+                entry.used.insert((first, rule.to_string()));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes the index: parse findings plus one finding per directive
+    /// that never suppressed anything.
+    pub fn finish(self) -> Vec<Finding> {
+        let mut findings = self.findings;
+        for (file, entry) in &self.files {
+            for d in &entry.directives {
+                if entry.used.contains(&(d.line, d.rule.clone())) {
+                    continue;
+                }
+                let form = if d.file_wide { "allow-file" } else { "allow" };
+                findings.push(Finding {
+                    rule: RULE_ALLOW_UNUSED.to_string(),
+                    file: file.clone(),
+                    line: d.line,
+                    message: format!(
+                        "`// lint: {form}({})` suppresses nothing; remove the stale directive",
+                        d.rule
+                    ),
+                });
+            }
+        }
+        findings
+    }
+}

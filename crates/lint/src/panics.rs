@@ -1,27 +1,16 @@
 //! The hot-path panic lint: no `unwrap()`, `expect()`, or panicking
-//! indexing in the hot crates outside an explicit allow directive.
-//!
-//! Directives are ordinary comments:
-//!
-//! * `// lint: allow(unwrap)` — allows the named rule(s) on the
-//!   directive's own line and the line below it (so it works both as a
-//!   trailing comment and as a comment above the call).
-//! * `// lint: allow-file(indexing)` — allows the rule(s) for the whole
-//!   file; used where a file pervasively indexes by construction-valid
-//!   IDs (e.g. bank/core vectors sized at startup).
+//! indexing in the hot crates outside an explicit allow directive (see
+//! [`crate::directives`] for the directive forms).
 //!
 //! Code under `#[cfg(test)] mod … { }` is skipped: tests may unwrap.
 
+use crate::directives::DirectiveIndex;
+use crate::files::SourceFile;
 use crate::lexer::{lex, Tok, TokKind};
-use crate::{Finding, RULE_DIRECTIVE, RULE_EXPECT, RULE_INDEXING, RULE_UNWRAP};
-use std::collections::{BTreeMap, BTreeSet};
-use std::io;
-use std::path::{Path, PathBuf};
+use crate::{Finding, RULE_EXPECT, RULE_INDEXING, RULE_UNWRAP};
 
 /// The crates whose `src/` trees the panic lint scans.
 pub const HOT_CRATES: &[&str] = &["core", "protocol", "sim", "mem"];
-
-const RULES: &[&str] = &[RULE_UNWRAP, RULE_EXPECT, RULE_INDEXING];
 
 /// Keywords that may directly precede `[` without it being an index
 /// expression (array literals, attribute syntax, types, …).
@@ -68,79 +57,10 @@ fn is_indexable_prefix(t: &Tok) -> bool {
     }
 }
 
-#[derive(Debug, Default)]
-struct Allows {
-    file_rules: BTreeSet<String>,
-    line_rules: BTreeMap<String, BTreeSet<u32>>,
-}
-
-impl Allows {
-    fn allows(&self, rule: &str, line: u32) -> bool {
-        self.file_rules.contains(rule)
-            || self
-                .line_rules
-                .get(rule)
-                .is_some_and(|lines| lines.contains(&line))
-    }
-}
-
-/// Parses every `lint:` directive out of the comment tokens; unknown
-/// rule names become findings so typos cannot silently disable a rule.
-fn collect_allows(file: &str, toks: &[Tok], findings: &mut Vec<Finding>) -> Allows {
-    let mut allows = Allows::default();
-    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
-        let Some(at) = t.text.find("lint:") else {
-            continue;
-        };
-        let rest = t.text[at + "lint:".len()..].trim_start();
-        let (file_wide, args) = if let Some(a) = rest.strip_prefix("allow-file(") {
-            (true, a)
-        } else if let Some(a) = rest.strip_prefix("allow(") {
-            (false, a)
-        } else {
-            findings.push(Finding {
-                rule: RULE_DIRECTIVE.to_string(),
-                file: file.to_string(),
-                line: t.line,
-                message: format!("unrecognized lint directive: `{}`", rest.trim_end()),
-            });
-            continue;
-        };
-        let Some(close) = args.find(')') else {
-            findings.push(Finding {
-                rule: RULE_DIRECTIVE.to_string(),
-                file: file.to_string(),
-                line: t.line,
-                message: "unterminated lint directive".to_string(),
-            });
-            continue;
-        };
-        for rule in args[..close].split(',').map(str::trim) {
-            if !RULES.contains(&rule) {
-                findings.push(Finding {
-                    rule: RULE_DIRECTIVE.to_string(),
-                    file: file.to_string(),
-                    line: t.line,
-                    message: format!("unknown rule `{rule}` in lint directive (known: {RULES:?})"),
-                });
-                continue;
-            }
-            if file_wide {
-                allows.file_rules.insert(rule.to_string());
-            } else {
-                let lines = allows.line_rules.entry(rule.to_string()).or_default();
-                lines.insert(t.line);
-                lines.insert(t.line + 1);
-            }
-        }
-    }
-    allows
-}
-
 /// Returns the index just past a `#[cfg(test)] mod … { }` block starting
 /// at `i` (which must point at `#`), or `None` when `i` starts no such
 /// block.
-fn skip_test_mod(toks: &[Tok], i: usize) -> Option<usize> {
+pub(crate) fn skip_test_mod(toks: &[Tok], i: usize) -> Option<usize> {
     if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
         return None;
     }
@@ -204,18 +124,10 @@ fn skip_test_mod(toks: &[Tok], i: usize) -> Option<usize> {
     Some(toks.len())
 }
 
-/// Scans one file's source for disallowed panicking constructs.
-pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
+fn scan_tokens(file: &str, toks: &[Tok], directives: &mut DirectiveIndex) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let all_toks = lex(src);
-    let allows = collect_allows(file, &all_toks, &mut findings);
-    let toks: Vec<Tok> = all_toks
-        .into_iter()
-        .filter(|t| t.kind != TokKind::Comment)
-        .collect();
-
-    let mut push = |rule: &str, line: u32, message: String| {
-        if !allows.allows(rule, line) {
+    let mut push = |rule: &str, line: u32, message: String, directives: &mut DirectiveIndex| {
+        if !directives.allows(file, rule, line) {
             findings.push(Finding {
                 rule: rule.to_string(),
                 file: file.to_string(),
@@ -227,7 +139,7 @@ pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
 
     let mut i = 0;
     while i < toks.len() {
-        if let Some(next) = skip_test_mod(&toks, i) {
+        if let Some(next) = skip_test_mod(toks, i) {
             i = next;
             continue;
         }
@@ -244,6 +156,7 @@ pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
                     line,
                     "`.unwrap()` in a hot crate; return an error, use a safe fallback, or add `// lint: allow(unwrap)`"
                         .to_string(),
+                    directives,
                 );
             } else if name == "expect" {
                 push(
@@ -251,6 +164,7 @@ pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
                     line,
                     "`.expect()` in a hot crate; return an error, use a safe fallback, or add `// lint: allow(expect)`"
                         .to_string(),
+                    directives,
                 );
             }
         }
@@ -260,6 +174,7 @@ pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
                 t.line,
                 "panicking index in a hot crate; use `.get()`, or add `// lint: allow(indexing)`"
                     .to_string(),
+                directives,
             );
         }
         i += 1;
@@ -267,40 +182,36 @@ pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
-/// Recursively collects the `.rs` files under `dir`, sorted.
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
+/// Scans one file's source, self-contained: parses its directives into a
+/// throwaway index and reports stale ones too. The repo path goes
+/// through [`scan_files`] with the shared index instead.
+pub fn scan_file(file: &str, src: &str) -> Vec<Finding> {
+    let mut directives = DirectiveIndex::default();
+    directives.collect_file(file, src);
+    let toks: Vec<Tok> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
         .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
+    let mut findings = scan_tokens(file, &toks, &mut directives);
+    findings.extend(directives.finish());
+    findings
 }
 
-/// Scans the hot crates' `src/` trees under `root`.
-pub fn scan_repo(root: &Path) -> io::Result<Vec<Finding>> {
+/// Scans the hot-crate members of `files`, consulting (and exercising)
+/// the shared directive index.
+pub fn scan_files(files: &[SourceFile], directives: &mut DirectiveIndex) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for krate in HOT_CRATES {
-        let dir = root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        rs_files(&dir, &mut files)?;
-        for path in files {
-            let src = std::fs::read_to_string(&path)?;
-            let label = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            findings.extend(scan_file(&label, &src));
+    for f in files {
+        if !f.crate_name().is_some_and(|c| HOT_CRATES.contains(&c)) {
+            continue;
         }
+        let toks: Vec<Tok> = lex(&f.src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        findings.extend(scan_tokens(&f.label, &toks, directives));
     }
-    Ok(findings)
+    findings
 }
 
 #[cfg(test)]
@@ -330,6 +241,15 @@ mod tests {
         let found = scan_file("t.rs", src);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, "lint-directive");
+    }
+
+    #[test]
+    fn unused_allow_directives_are_findings() {
+        let src = "fn f() {\n    // lint: allow(unwrap)\n    let x = 1;\n}";
+        let found = scan_file("t.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "lint-allow-unused");
+        assert_eq!(found[0].line, 2);
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Fixture with a seeded determinism violation: `save_csv` iterates an
+//! `FxHashMap` without imposing an order, so the CSV bytes differ from
+//! run to run.
+
+pub struct Table {
+    rows: FxHashMap<String, u64>,
+}
+
+impl Table {
+    pub fn save_csv(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.rows.iter() {
+            out.push_str(name);
+            out.push(',');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,5 +1,9 @@
-//! Fixture home-side decision functions with full view coverage, so the
-//! only seeded coverage violation lives in `private.rs`.
+//! Fixture home-side decision functions with full view coverage and the
+//! model's probe emissions, plus two seeded waits-for violations: the
+//! `GetS`/`Exclusive` arm emits the unhandled `Nudge` probe
+//! (unsatisfiable wait), and the `GetM`/`Exclusive` arm emits `Recall`,
+//! whose `(Invalid, Recall)` escape edge `private.rs` deliberately
+//! lacks (waits-for cycle).
 
 pub enum DirView {
     Untracked,
@@ -20,7 +24,10 @@ pub fn decide(req: Request, view: &DirView) -> Decision {
 fn decide_gets(view: &DirView) -> Decision {
     match view {
         DirView::Untracked => decision(),
-        DirView::Exclusive(_) => decision(),
+        DirView::Exclusive(_) => probe_then(&[
+            Probe::FwdGetS,
+            Probe::Nudge,
+        ]),
         DirView::Shared(_) => decision(),
     }
 }
@@ -28,8 +35,13 @@ fn decide_gets(view: &DirView) -> Decision {
 fn decide_getm(view: &DirView) -> Decision {
     match view {
         DirView::Untracked => decision(),
-        DirView::Exclusive(_) => decision(),
-        DirView::Shared(_) => decision(),
+        DirView::Exclusive(_) => probe_then(&[
+            Probe::FwdGetM,
+            Probe::Recall,
+        ]),
+        DirView::Shared(_) => probe_then(&[
+            Probe::Inv,
+        ]),
     }
 }
 

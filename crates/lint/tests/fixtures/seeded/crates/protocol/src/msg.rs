@@ -17,6 +17,9 @@ pub enum Probe {
     Inv,
     Recall,
     Discovery(DiscoveryIntent),
+    /// Seeded: emitted by the fixture home but handled by no probe arm,
+    /// so any wait on its reply is unsatisfiable.
+    Nudge,
 }
 
 pub enum DiscoveryIntent {

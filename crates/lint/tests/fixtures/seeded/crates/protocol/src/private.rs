@@ -1,5 +1,9 @@
-//! Fixture with a seeded coverage hole: the `(Modified, FwdGetS)` probe
-//! transition is reachable in the model but has no handling arm here.
+//! Fixture with seeded coverage holes: the `(Modified, FwdGetS)` and
+//! `(Invalid, Recall)` probe transitions are reachable in the model but
+//! have no handling arm here. The missing `(Invalid, Recall)` arm also
+//! removes `Recall`'s escape edge, which turns the home's seeded
+//! `Recall` emission into a waits-for cycle. The probe arms are explicit
+//! (no wildcards) so the seeded `Nudge` probe is handled nowhere.
 
 pub enum PrivState {
     Modified,
@@ -13,12 +17,24 @@ pub fn probe(state: PrivState, probe: Probe) -> ProbeEffect {
         (PrivState::Modified, Probe::FwdGetM | Probe::Inv | Probe::Recall | Probe::Discovery(_)) => {
             effect()
         }
-        (PrivState::Exclusive | PrivState::Shared | PrivState::Invalid, _) => effect(),
+        (
+            PrivState::Exclusive | PrivState::Shared,
+            Probe::FwdGetS | Probe::FwdGetM | Probe::Inv | Probe::Recall | Probe::Discovery(_),
+        ) => effect(),
+        (PrivState::Invalid, Probe::FwdGetS | Probe::FwdGetM | Probe::Inv | Probe::Discovery(_)) => {
+            effect()
+        }
     }
 }
 
 pub fn local_access(state: PrivState, op: MemOpKind) -> AccessOutcome {
     match (state, op) {
-        (_, _) => outcome(),
+        (PrivState::Modified, _) => Hit(PrivState::Modified),
+        (PrivState::Exclusive, MemOpKind::Read) => Hit(PrivState::Exclusive),
+        (PrivState::Exclusive, MemOpKind::Write) => Hit(PrivState::Modified),
+        (PrivState::Shared, MemOpKind::Read) => Hit(PrivState::Shared),
+        (PrivState::Shared, MemOpKind::Write) => Miss(Request::Upgrade),
+        (PrivState::Invalid, MemOpKind::Read) => Miss(Request::GetS),
+        (PrivState::Invalid, MemOpKind::Write) => Miss(Request::GetM),
     }
 }

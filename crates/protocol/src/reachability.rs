@@ -42,7 +42,7 @@ use crate::home::{decide, decide_put, discovery_intent, needs_discovery, DirView
 use crate::msg::{DiscoveryIntent, Grant, Probe, Request};
 use crate::private::{local_access, probe, AccessOutcome, MemOpKind, PrivState};
 use stashdir_common::{CoreId, SharerSet};
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 const N: usize = 3;
 
@@ -101,6 +101,28 @@ pub fn probe_label(p: Probe) -> &'static str {
     }
 }
 
+/// Canonical label for a probe's *kind* with the discovery payload
+/// ignored — the identifier that appears at an emit site in the home
+/// decision source (`Probe::FwdGetS`, `Probe::Recall`, ...).
+pub fn probe_base_label(p: Probe) -> &'static str {
+    match p {
+        Probe::FwdGetS => "FwdGetS",
+        Probe::FwdGetM => "FwdGetM",
+        Probe::Inv => "Inv",
+        Probe::Recall => "Recall",
+        Probe::Discovery(_) => "Discovery",
+    }
+}
+
+/// Canonical label for a grant, matching the variant identifier.
+pub fn grant_label(g: Grant) -> &'static str {
+    match g {
+        Grant::Shared => "Shared",
+        Grant::Exclusive => "Exclusive",
+        Grant::Modified => "Modified",
+    }
+}
+
 /// Canonical label for a request, matching the variant identifier.
 pub fn request_label(req: Request) -> &'static str {
     match req {
@@ -130,6 +152,28 @@ pub fn op_label(op: MemOpKind) -> &'static str {
     }
 }
 
+/// Messages the home emitted while handling one `(request, view-kind)`
+/// pair, unioned over every abstract state in which the model exercised
+/// the pair. Consumed by the lint waits-for pass to cross-check the
+/// blocking edges it extracts from the home decision source.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HomeEmission {
+    probes: BTreeSet<&'static str>,
+    grants: BTreeSet<&'static str>,
+}
+
+impl HomeEmission {
+    /// Probe kinds emitted, as base labels (see [`probe_base_label`]).
+    pub fn probes(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.probes.iter().copied()
+    }
+
+    /// Grant kinds issued (see [`grant_label`]).
+    pub fn grants(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.grants.iter().copied()
+    }
+}
+
 /// The set of decision-layer transitions exercised by an exploration,
 /// keyed by canonical labels (see [`state_label`] and friends).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -140,6 +184,8 @@ pub struct TransitionSet {
     local: BTreeSet<(&'static str, &'static str)>,
     /// `(Request, DirView-kind)` pairs fed to [`decide`] / [`decide_put`].
     home: BTreeSet<(&'static str, &'static str)>,
+    /// Messages emitted per `(Request, DirView-kind)` home pair.
+    home_emits: BTreeMap<(&'static str, &'static str), HomeEmission>,
 }
 
 impl TransitionSet {
@@ -153,6 +199,11 @@ impl TransitionSet {
         self.probe.extend(other.probe.iter().copied());
         self.local.extend(other.local.iter().copied());
         self.home.extend(other.home.iter().copied());
+        for (pair, emission) in &other.home_emits {
+            let mine = self.home_emits.entry(*pair).or_default();
+            mine.probes.extend(emission.probes.iter().copied());
+            mine.grants.extend(emission.grants.iter().copied());
+        }
     }
 
     /// The reachable `(state, probe)` label pairs, sorted.
@@ -180,6 +231,33 @@ impl TransitionSet {
 
     fn record_home(&mut self, req: Request, view: &DirView) {
         self.home.insert((request_label(req), view_label(view)));
+    }
+
+    /// Emissions recorded for each reachable `(request, view-kind)` home
+    /// pair, in sorted order. Put pairs appear with empty emissions.
+    pub fn home_emissions(
+        &self,
+    ) -> impl Iterator<Item = ((&'static str, &'static str), &HomeEmission)> + '_ {
+        self.home_emits.iter().map(|(pair, e)| (*pair, e))
+    }
+
+    fn record_home_emission(
+        &mut self,
+        req: Request,
+        view: &DirView,
+        probes: &[(CoreId, Probe)],
+        grant: Option<Grant>,
+    ) {
+        let e = self
+            .home_emits
+            .entry((request_label(req), view_label(view)))
+            .or_default();
+        for &(_, p) in probes {
+            e.probes.insert(probe_base_label(p));
+        }
+        if let Some(g) = grant {
+            e.grants.insert(grant_label(g));
+        }
     }
 }
 
@@ -369,6 +447,8 @@ impl Explorer {
 
         self.transitions.record_home(req, &view);
         let outcome = decide(req, CoreId::new(c as u16), &view, N as u16);
+        self.transitions
+            .record_home_emission(req, &view, &outcome.probes, Some(outcome.grant));
 
         // Probe phase.
         let mut data_from_owner: Option<bool> = None; // fresh?
@@ -447,6 +527,7 @@ impl Explorer {
         }
         let view = st.view.to_dir_view();
         self.transitions.record_home(req, &view);
+        self.transitions.record_home_emission(req, &view, &[], None);
         match decide_put(req, CoreId::new(c as u16), &view) {
             PutOutcome::Accept {
                 new_view,

@@ -52,7 +52,11 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
         }
     }
 
-    for (&block, holders) in &copies {
+    // Sorted so violation messages come out in block order, not hash
+    // order — checker output feeds failure reports.
+    let mut copies_by_block: Vec<_> = copies.iter().collect();
+    copies_by_block.sort_by_key(|(b, _)| **b);
+    for (&block, holders) in copies_by_block {
         let home = machine.home(block);
         // lint: allow(indexing) — `home()`/`dir_bank_of()` return in-range BankIds.
         let bank = &machine.banks[home.index()];

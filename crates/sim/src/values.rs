@@ -86,9 +86,11 @@ impl ValueTracker {
         self.latest.get(&block).copied().unwrap_or(0)
     }
 
-    /// Blocks that have ever been written.
-    pub fn written_blocks(&self) -> impl Iterator<Item = (BlockAddr, u64)> + '_ {
-        self.latest.iter().map(|(b, v)| (*b, *v))
+    /// Blocks that have ever been written, in address order.
+    pub fn written_blocks(&self) -> Vec<(BlockAddr, u64)> {
+        let mut v: Vec<_> = self.latest.iter().map(|(b, v)| (*b, *v)).collect();
+        v.sort_by_key(|(b, _)| *b);
+        v
     }
 
     /// Consistency violations observed so far.
@@ -166,7 +168,7 @@ mod tests {
         let mut vt = ValueTracker::new();
         vt.on_write(core(0), BlockAddr::new(1));
         vt.on_write(core(0), BlockAddr::new(2));
-        assert_eq!(vt.written_blocks().count(), 2);
+        assert_eq!(vt.written_blocks().len(), 2);
     }
 
     #[test]
