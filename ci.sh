@@ -54,6 +54,29 @@ e18_count=$(echo "$e18_backends" | wc -l)
   || { echo "E18 smoke FAILED: only $e18_count backends in CSV:"; echo "$e18_backends"; exit 1; }
 rm -rf "$e18_dir"
 
+# Chaos campaign smoke (E19): a short budgeted coverage-guided campaign
+# from a scratch cwd against the freshly written protocol model. Passes
+# when composing fault classes pairwise still catches all 7 (the E17
+# property under composition), when the campaign strictly beats the
+# single-fault coverage floor, and when the emitted coverage artifact
+# verifies under the lint schema checker.
+echo "== chaos campaign smoke (E19)"
+e19_dir=$(mktemp -d)
+e19_out=$(cd "$e19_dir" && cargo run -q --manifest-path "$repo_root/Cargo.toml" \
+  -p stashdir-harness --offline --bin campaign -- \
+  --model "$repo_root/results/lint/protocol_model.json" \
+  --ops 400 --rounds 2 --plateau 1 --no-progress)
+echo "$e19_out" | grep -qF \
+  "pairwise gate: 7/7 fault classes caught when composed — PASS" \
+  || { echo "E19 smoke FAILED (pairwise gate):"; echo "$e19_out"; exit 1; }
+echo "$e19_out" | grep -qE \
+  "coverage gate: campaign witnessed [0-9]+/[0-9]+ reachable transitions \(single-fault baseline [0-9]+\) — PASS" \
+  || { echo "E19 smoke FAILED (coverage gate):"; echo "$e19_out"; exit 1; }
+echo "== stashdir-lint --verify-coverage"
+cargo run -q -p stashdir-lint --offline -- \
+  --verify-coverage "$e19_dir/results/campaign/coverage.json"
+rm -rf "$e19_dir"
+
 echo "== cargo test -q --offline"
 cargo test -q --workspace --offline
 

@@ -8,7 +8,7 @@
 //! produced it — the property the parallel-equals-serial test pins down.
 
 use stashdir::common::json::Value;
-use stashdir::sim::report::TimelineSample;
+use stashdir::sim::report::{TimelineSample, TransitionHits};
 use stashdir::{FaultSummary, SimReport, StatSink};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -46,7 +46,32 @@ pub fn report_to_json(report: &SimReport) -> Value {
     if let Some(snapshot) = &report.snapshot {
         fields.push(("snapshot".into(), Value::from(snapshot.as_str())));
     }
+    // Transition coverage appears only on witnessing (campaign) runs.
+    if !report.coverage.is_empty() {
+        fields.push((
+            "coverage".into(),
+            Value::array(report.coverage.iter().map(hits_to_json).collect()),
+        ));
+    }
     Value::object(fields)
+}
+
+fn hits_to_json(h: &TransitionHits) -> Value {
+    Value::object(vec![
+        ("section".into(), Value::from(h.section.as_str())),
+        ("row".into(), Value::from(h.row.as_str())),
+        ("col".into(), Value::from(h.col.as_str())),
+        ("hits".into(), Value::from(h.hits)),
+    ])
+}
+
+fn hits_from_json(value: &Value) -> Option<TransitionHits> {
+    Some(TransitionHits {
+        section: value.get("section")?.as_str()?.to_string(),
+        row: value.get("row")?.as_str()?.to_string(),
+        col: value.get("col")?.as_str()?.to_string(),
+        hits: value.get("hits")?.as_u64()?,
+    })
 }
 
 /// Rebuilds a report from its canonical JSON tree.
@@ -81,6 +106,14 @@ pub fn report_from_json(value: &Value) -> Option<SimReport> {
         .get("snapshot")
         .and_then(Value::as_str)
         .map(str::to_string);
+    let coverage = match value.get("coverage") {
+        Some(v) => v
+            .as_array()?
+            .iter()
+            .map(hits_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        None => Vec::new(),
+    };
     Some(SimReport {
         cycles,
         completed_ops,
@@ -89,6 +122,7 @@ pub fn report_from_json(value: &Value) -> Option<SimReport> {
         timeline,
         fault,
         snapshot,
+        coverage,
     })
 }
 
@@ -276,6 +310,7 @@ mod tests {
             }],
             fault: FaultSummary::default(),
             snapshot: None,
+            coverage: Vec::new(),
         }
     }
 
@@ -343,6 +378,30 @@ mod tests {
         let text = report_to_json(&sample_report()).render_pretty();
         assert!(!text.contains("\"fault\""));
         assert!(!text.contains("\"snapshot\""));
+        assert!(!text.contains("\"coverage\""));
+    }
+
+    #[test]
+    fn witnessed_coverage_round_trips() {
+        let mut r = sample_report();
+        r.coverage = vec![
+            TransitionHits {
+                section: "private_probe".into(),
+                row: "Modified".into(),
+                col: "FwdGetS".into(),
+                hits: 3,
+            },
+            TransitionHits {
+                section: "home".into(),
+                row: "GetS".into(),
+                col: "Untracked".into(),
+                hits: 12,
+            },
+        ];
+        let text = report_to_json(&r).render_pretty();
+        assert!(text.contains("\"coverage\""));
+        let back = report_from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.coverage, r.coverage);
     }
 
     #[test]

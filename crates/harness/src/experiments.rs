@@ -11,6 +11,7 @@
 //! table from the same results a serial run would have produced — the
 //! tables and CSVs are identical, column for column.
 
+use crate::campaign;
 use crate::params::{geomean, machine_with, Params};
 use crate::plan::CaseSpec;
 use crate::table::{f2, f3, n0, Table};
@@ -75,9 +76,9 @@ impl Experiment {
     }
 }
 
-/// All experiments, in suite order (E1..E15, then the E17 chaos smoke
-/// and the E18 equal-area shoot-out; E16 remains a standalone bench
-/// binary).
+/// All experiments, in suite order (E1..E15, then the E17 chaos smoke,
+/// the E18 equal-area shoot-out and the E19 chaos-campaign static
+/// rounds; E16 remains a standalone bench binary).
 pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
@@ -215,6 +216,14 @@ pub fn registry() -> Vec<Experiment> {
             summary: "equal-area shoot-out across every registered backend",
             cases_fn: e18_cases,
             assemble_fn: e18_assemble,
+        },
+        Experiment {
+            key: "campaign",
+            code: "E19",
+            csv: "e19_campaign",
+            summary: "chaos campaign static rounds: witnessed baseline + pairwise compositions",
+            cases_fn: e19_cases,
+            assemble_fn: e19_assemble,
         },
     ]
 }
@@ -1302,6 +1311,77 @@ fn e18_assemble(p: Params, results: &ResultSet) -> Assembled {
     }
 }
 
+// ---------------------------------------------------------------- E19
+
+/// The campaign's statically-known rounds: the witnessed single-fault
+/// baseline plus the pairwise compositions. The adaptive
+/// coverage-feedback rounds need the round loop and live in
+/// [`campaign::run_campaign`] (driven by the `campaign` binary).
+fn e19_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = campaign::baseline_cases(p);
+    cases.extend(campaign::pairwise_cases(p));
+    cases
+}
+
+fn e19_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let pairwise = campaign::pairwise_cases(p);
+    let mut table = Table::new(
+        "E19 — chaos campaign: fault classes composed pairwise through burst schedules",
+        &[
+            "fault_class",
+            "composed_with",
+            "injected",
+            "expected_detector",
+            "caught",
+        ],
+    );
+    for &class in FaultClass::ALL {
+        let mut partners: Vec<&'static str> = Vec::new();
+        let mut injected = 0u64;
+        let mut hit = false;
+        for c in &pairwise {
+            let f = c.fault.as_ref().expect("pairwise cases carry faults");
+            if !f.enabled_classes().contains(&class) {
+                continue;
+            }
+            partners.extend(
+                f.enabled_classes()
+                    .into_iter()
+                    .filter(|&o| o != class)
+                    .map(FaultClass::label),
+            );
+            let r = report(results, c);
+            injected += r.fault.injected_for(class);
+            hit |= r.fault.injected_for(class) > 0
+                && r.fault.detected_for(expected_detector(class)) > 0;
+        }
+        table.row(vec![
+            class.label().to_string(),
+            partners.join("+"),
+            n0(injected as f64),
+            expected_detector(class).label().to_string(),
+            if hit { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let (caught, total) = campaign::pairwise_catch(&pairwise, results);
+    let (model, _) = campaign::load_model(None).expect("builtin model");
+    let mut acc = campaign::CoverageMap::new();
+    for c in e19_cases(p) {
+        campaign::accumulate(&mut acc, report(results, &c));
+    }
+    let witnessed = campaign::witnessed_reachable(&model, &acc);
+    let verdict = if caught == total { "PASS" } else { "FAIL" };
+    Assembled {
+        table,
+        note: Some(format!(
+            "pairwise gate: {caught}/{total} fault classes caught when composed — {verdict}\n\
+             static-round coverage: {witnessed}/{} reachable transitions witnessed under fault \
+             (adaptive rounds: the `campaign` binary)",
+            model.total_reachable(),
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1313,19 +1393,19 @@ mod tests {
     #[test]
     fn registry_keys_and_csvs_are_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
         let mut keys: Vec<_> = reg.iter().map(|e| e.key).collect();
         keys.sort_unstable();
         keys.dedup();
-        assert_eq!(keys.len(), 17, "duplicate experiment key");
+        assert_eq!(keys.len(), 18, "duplicate experiment key");
         let mut csvs: Vec<_> = reg.iter().map(|e| e.csv).collect();
         csvs.sort_unstable();
         csvs.dedup();
-        assert_eq!(csvs.len(), 17, "duplicate csv stem");
+        assert_eq!(csvs.len(), 18, "duplicate csv stem");
         let mut codes: Vec<_> = reg.iter().map(|e| e.code).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 17, "duplicate experiment code");
+        assert_eq!(codes.len(), 18, "duplicate experiment code");
     }
 
     /// Every registered backend fields an E18 contender, and every

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod campaign;
 pub mod digest;
 pub mod experiments;
 pub mod fsio {
@@ -51,6 +52,7 @@ pub mod runner;
 pub mod shard;
 pub mod table;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, COVERAGE_SCHEMA};
 pub use experiments::{registry, Experiment, ResultSet};
 pub use manifest::{CaseRecord, RunManifest};
 pub use params::{geomean, machine_with, run_case, Params};

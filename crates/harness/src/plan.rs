@@ -70,12 +70,16 @@ impl CaseSpec {
             .to_string()
             .replace('/', "_")
             .replace('@', "-");
-        let fault = self
-            .fault
-            .as_ref()
-            .and_then(|f| f.class)
-            .map(|c| format!("-f{}", c.label()))
-            .unwrap_or_default();
+        let fault = match self.fault.as_ref() {
+            Some(f) => match f.class {
+                Some(c) => format!("-f{}", c.label()),
+                // Burst-only campaign cases: name the schedule size (the
+                // digest suffix still covers the exact schedule).
+                None if f.has_bursts() => format!("-fmulti{}", f.bursts.len()),
+                None => String::new(),
+            },
+            None => String::new(),
+        };
         format!(
             "{dir}-c{}-{}-o{}-s{}{fault}-{}",
             self.config.cores,

@@ -204,7 +204,7 @@ fn attempt(
             .workload
             .generate(spec.config.cores, spec.ops, spec.seed);
         let mut machine = Machine::new(spec.config.clone());
-        if let Some(fault) = spec.fault {
+        if let Some(fault) = spec.fault.clone() {
             machine = machine.with_faults(fault);
         }
         let report = machine.run(traces);

@@ -126,6 +126,8 @@ pub fn merge_shard_reports(shards: &[SimReport]) -> Option<SimReport> {
         timeline: Vec::new(),
         fault: Default::default(),
         snapshot: shards.iter().find_map(|r| r.snapshot.clone()),
+        // Coverage is only recorded on (non-sharded) campaign runs.
+        coverage: Vec::new(),
     })
 }
 

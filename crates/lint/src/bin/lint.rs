@@ -6,6 +6,7 @@
 //! usage: lint [--root DIR] [--artifact FILE | --no-artifact]
 //!             [--model FILE] [--json FILE] [--quiet]
 //!        lint --verify-v1 FILE
+//!        lint --verify-coverage FILE
 //! ```
 //!
 //! Defaults: `--root .`, v1 artifact at
@@ -18,6 +19,11 @@
 //! `--verify-v1 FILE` is a standalone mode: it parses `FILE` and checks
 //! it is readable under the v1 artifact shape (both schema ids accepted),
 //! exiting 0/1 — `ci.sh` runs it against the freshly written v2 model.
+//!
+//! `--verify-coverage FILE` is the same idea for the harness campaign's
+//! `stashdir/chaos-coverage/v1` artifact: shape, per-section hit-count
+//! consistency and the pairwise/total gate fields — `ci.sh` runs it
+//! against the E19 smoke's `coverage.json`.
 
 use stashdir_common::fsio::write_atomic;
 use std::path::{Path, PathBuf};
@@ -59,12 +65,43 @@ fn verify_v1(path: &Path) -> ExitCode {
     }
 }
 
+fn verify_coverage(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lint: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let value = match stashdir_common::json::Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: {} is not valid JSON: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    };
+    match stashdir_lint::artifact::verify_chaos_coverage(&value) {
+        Ok(()) => {
+            println!(
+                "lint: {} is a well-formed coverage artifact",
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lint: {} fails the coverage check: {e}", path.display());
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut artifact: Option<PathBuf> = None;
     let mut model: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
     let mut verify: Option<PathBuf> = None;
+    let mut verify_cov: Option<PathBuf> = None;
     let mut no_artifact = false;
     let mut quiet = false;
 
@@ -91,6 +128,10 @@ fn main() -> ExitCode {
                 Some(v) => verify = Some(PathBuf::from(v)),
                 None => return usage("--verify-v1 needs a value"),
             },
+            "--verify-coverage" => match args.next() {
+                Some(v) => verify_cov = Some(PathBuf::from(v)),
+                None => return usage("--verify-coverage needs a value"),
+            },
             "--no-artifact" => no_artifact = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => return usage(""),
@@ -100,6 +141,9 @@ fn main() -> ExitCode {
 
     if let Some(path) = verify {
         return verify_v1(&path);
+    }
+    if let Some(path) = verify_cov {
+        return verify_coverage(&path);
     }
 
     let report = match stashdir_lint::run(&root) {
@@ -167,7 +211,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("lint: {err}");
     }
     eprintln!(
-        "usage: lint [--root DIR] [--artifact FILE | --no-artifact] [--model FILE] [--json FILE] [--quiet]\n       lint --verify-v1 FILE"
+        "usage: lint [--root DIR] [--artifact FILE | --no-artifact] [--model FILE] [--json FILE] [--quiet]\n       lint --verify-v1 FILE\n       lint --verify-coverage FILE"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

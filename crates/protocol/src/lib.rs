@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod home;
+pub mod model;
 pub mod msg;
 pub mod private;
 pub mod reachability;

@@ -77,6 +77,16 @@ impl FaultClass {
     pub fn parse(s: &str) -> Option<FaultClass> {
         FaultClass::ALL.iter().copied().find(|c| c.label() == s)
     }
+
+    /// Every valid label, comma-joined — the help text parse errors
+    /// carry so a typo'd class is always answerable from the message.
+    pub fn label_help() -> String {
+        FaultClass::ALL
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 /// Which mechanism is expected to catch a fault class.
@@ -130,20 +140,71 @@ pub fn expected_detector(class: FaultClass) -> Detector {
     }
 }
 
+/// One scheduled injection window of a multi-fault campaign: `class`
+/// rolls at `rate_per_mille` from cycle `onset`, stays hot for `len`
+/// cycles, sleeps `gap` cycles, and repeats. A `len` or `gap` of `0`
+/// means the burst never switches off once `onset` is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultBurst {
+    /// The fault class this burst injects.
+    pub class: FaultClass,
+    /// First cycle at which the burst can fire.
+    pub onset: u64,
+    /// Hot-window length in cycles (`0` = forever).
+    pub len: u64,
+    /// Cool-down between hot windows in cycles (`0` = no cool-down).
+    pub gap: u64,
+    /// Injection probability per opportunity inside the window,
+    /// thousandths.
+    pub rate_per_mille: u32,
+}
+
+impl FaultBurst {
+    /// `true` when the burst's hot window covers cycle `now`.
+    pub fn active_at(&self, now: u64) -> bool {
+        if now < self.onset {
+            return false;
+        }
+        if self.len == 0 || self.gap == 0 {
+            return true;
+        }
+        (now - self.onset) % (self.len + self.gap) < self.len
+    }
+
+    /// Human-readable schedule phase at cycle `now` (`pending`, `burst`
+    /// or `gap`) — embedded in diagnostic snapshots so a multi-fault
+    /// stall is attributable without a rerun.
+    pub fn phase_at(&self, now: u64) -> &'static str {
+        if now < self.onset {
+            "pending"
+        } else if self.active_at(now) {
+            "burst"
+        } else {
+            "gap"
+        }
+    }
+}
+
 /// Configuration for one faulty run.
 ///
 /// Thread it into a machine with [`Machine::with_faults`]; a config with
-/// no class and no watchdog bound is inert.
+/// no class, no bursts and no watchdog bound is inert.
+///
+/// Two injection modes compose: the legacy single-`class` mode (always
+/// armed, `rate_per_mille`) and any number of [`FaultBurst`] windows,
+/// which arm their class only inside the scheduled hot windows — the
+/// chaos-campaign layer's multi-fault mode.
 ///
 /// [`Machine::with_faults`]: crate::Machine::with_faults
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultConfig {
-    /// The single class to inject, or `None` for a fault-free run with
-    /// the hook layer still threaded (watchdog may still be armed).
+    /// The single always-armed class to inject, or `None` when only
+    /// bursts (or nothing) inject.
     pub class: Option<FaultClass>,
     /// Seed for the injection RNG (independent of the workload seed).
     pub seed: u64,
-    /// Injection probability per opportunity, in thousandths.
+    /// Injection probability per opportunity for the legacy class,
+    /// in thousandths.
     pub rate_per_mille: u32,
     /// Cap on recorded injections; `0` = unlimited.
     pub max_injections: u64,
@@ -155,10 +216,20 @@ pub struct FaultConfig {
     /// Forward-progress bound: a core that retires nothing for this many
     /// cycles is diagnosed as stalled. `0` disables the watchdog.
     pub watchdog_bound: u64,
+    /// Scheduled injection windows (the multi-fault campaign mode).
+    pub bursts: Vec<FaultBurst>,
+    /// Allowed injection-site indices: when non-empty, only the n-th
+    /// would-fire opportunities named here actually inject — the
+    /// minimizer's finest delta-debugging granularity. Empty = all.
+    pub sites: Vec<u64>,
+    /// Record per-(state×message) transition hit counts on the report
+    /// (the chaos-coverage loop); off by default so plain chaos runs
+    /// keep their historical artifacts.
+    pub witness: bool,
 }
 
 impl FaultConfig {
-    /// A fully inert config: no class, no watchdog.
+    /// A fully inert config: no class, no bursts, no watchdog.
     pub fn disabled() -> FaultConfig {
         FaultConfig {
             class: None,
@@ -168,6 +239,9 @@ impl FaultConfig {
             delay_cycles: 0,
             stuck_cycles: 0,
             watchdog_bound: 0,
+            bursts: Vec::new(),
+            sites: Vec::new(),
+            witness: false,
         }
     }
 
@@ -184,7 +258,157 @@ impl FaultConfig {
             delay_cycles: 50_000_000,
             stuck_cycles: 50_000_000,
             watchdog_bound: 1_000_000,
+            ..FaultConfig::disabled()
         }
+    }
+
+    /// A campaign config with no legacy class: bursts added via
+    /// [`FaultConfig::with_burst`] drive all injection. Horizons and the
+    /// watchdog bound match [`FaultConfig::for_class`]; the budget is
+    /// unlimited (bursts self-limit through their windows).
+    pub fn for_campaign(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            delay_cycles: 50_000_000,
+            stuck_cycles: 50_000_000,
+            watchdog_bound: 1_000_000,
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// Appends one burst window.
+    pub fn with_burst(mut self, burst: FaultBurst) -> FaultConfig {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Enables transition witnessing.
+    pub fn with_witness(mut self) -> FaultConfig {
+        self.witness = true;
+        self
+    }
+
+    /// `true` when any burst window is scheduled.
+    pub fn has_bursts(&self) -> bool {
+        !self.bursts.is_empty()
+    }
+
+    /// Every class this config can inject (legacy class plus burst
+    /// classes), deduplicated, in taxonomy order.
+    pub fn enabled_classes(&self) -> Vec<FaultClass> {
+        FaultClass::ALL
+            .iter()
+            .copied()
+            .filter(|&c| self.class == Some(c) || self.bursts.iter().any(|b| b.class == c))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for FaultConfig {
+    /// Canonical `key=value` token string, the replayable form the
+    /// minimizer saves next to diag snapshots. [`FaultConfig::from_str`]
+    /// round-trips it exactly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(class) = self.class {
+            parts.push(format!("class={}", class.label()));
+        }
+        parts.push(format!("seed={}", self.seed));
+        parts.push(format!("rate={}", self.rate_per_mille));
+        parts.push(format!("max={}", self.max_injections));
+        parts.push(format!("delay={}", self.delay_cycles));
+        parts.push(format!("stuck={}", self.stuck_cycles));
+        parts.push(format!("watchdog={}", self.watchdog_bound));
+        for b in &self.bursts {
+            parts.push(format!(
+                "burst={}:{}:{}:{}:{}",
+                b.class.label(),
+                b.onset,
+                b.len,
+                b.gap,
+                b.rate_per_mille
+            ));
+        }
+        if !self.sites.is_empty() {
+            let sites: Vec<String> = self.sites.iter().map(u64::to_string).collect();
+            parts.push(format!("sites={}", sites.join(",")));
+        }
+        if self.witness {
+            parts.push("witness=true".to_string());
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+fn parse_class(s: &str) -> Result<FaultClass, String> {
+    FaultClass::parse(s).ok_or_else(|| {
+        format!(
+            "unknown fault class `{s}` (valid classes: {})",
+            FaultClass::label_help()
+        )
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("`{key}` wants an unsigned integer, got `{s}`"))
+}
+
+impl std::str::FromStr for FaultConfig {
+    type Err = String;
+
+    /// Parses the [`Display`](FaultConfig::fmt) token grammar:
+    /// whitespace-separated `key=value` tokens in any order. Unknown
+    /// class labels list every valid label.
+    fn from_str(s: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::disabled();
+        for token in s.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("`{token}` is not a key=value token"))?;
+            match key {
+                "class" => cfg.class = Some(parse_class(value)?),
+                "seed" => cfg.seed = parse_num(key, value)?,
+                "rate" => cfg.rate_per_mille = parse_num(key, value)?,
+                "max" => cfg.max_injections = parse_num(key, value)?,
+                "delay" => cfg.delay_cycles = parse_num(key, value)?,
+                "stuck" => cfg.stuck_cycles = parse_num(key, value)?,
+                "watchdog" => cfg.watchdog_bound = parse_num(key, value)?,
+                "burst" => {
+                    let mut it = value.split(':');
+                    let (Some(class), Some(onset), Some(len), Some(gap), Some(rate), None) = (
+                        it.next(),
+                        it.next(),
+                        it.next(),
+                        it.next(),
+                        it.next(),
+                        it.next(),
+                    ) else {
+                        return Err(format!("`burst={value}` wants class:onset:len:gap:rate"));
+                    };
+                    cfg.bursts.push(FaultBurst {
+                        class: parse_class(class)?,
+                        onset: parse_num("burst onset", onset)?,
+                        len: parse_num("burst len", len)?,
+                        gap: parse_num("burst gap", gap)?,
+                        rate_per_mille: parse_num("burst rate", rate)?,
+                    });
+                }
+                "sites" => {
+                    cfg.sites = value
+                        .split(',')
+                        .map(|v| parse_num("sites", v))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                }
+                "witness" => match value {
+                    "true" => cfg.witness = true,
+                    "false" => cfg.witness = false,
+                    other => return Err(format!("`witness` wants true or false, got `{other}`")),
+                },
+                other => return Err(format!("unknown fault-config key `{other}`")),
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -284,6 +508,9 @@ pub struct FaultPlan {
     rng: DetRng,
     /// Counters accumulated so far.
     pub summary: FaultSummary,
+    /// Would-fire opportunities seen so far — the index space the
+    /// minimizer's `sites` filter selects over.
+    opportunities: u64,
 }
 
 impl FaultPlan {
@@ -293,6 +520,7 @@ impl FaultPlan {
             rng: DetRng::seed_from(cfg.seed ^ 0xC4A0_5DA7),
             cfg,
             summary: FaultSummary::default(),
+            opportunities: 0,
         }
     }
 
@@ -306,24 +534,86 @@ impl FaultPlan {
         (self.cfg.watchdog_bound > 0).then_some(self.cfg.watchdog_bound)
     }
 
+    fn budget_open(&self) -> bool {
+        self.cfg.max_injections == 0 || self.summary.injected_total() < self.cfg.max_injections
+    }
+
+    /// The effective legacy-mode rate for `class` (`None` when `class`
+    /// is not the configured one).
+    fn legacy_rate(&self, class: FaultClass) -> Option<u32> {
+        (self.cfg.class == Some(class)).then_some(self.cfg.rate_per_mille)
+    }
+
+    /// The strongest burst-mode rate for `class` at cycle `now`
+    /// (`None` when no burst for `class` is hot).
+    fn burst_rate(&self, class: FaultClass, now: u64) -> Option<u32> {
+        self.cfg
+            .bursts
+            .iter()
+            .filter(|b| b.class == class && b.active_at(now))
+            .map(|b| b.rate_per_mille)
+            .max()
+    }
+
     /// `true` when `class` is the enabled class and its injection budget
     /// is not exhausted. Does not consume randomness or record anything.
     pub fn armed(&self, class: FaultClass) -> bool {
-        self.cfg.class == Some(class)
-            && (self.cfg.max_injections == 0
-                || self.summary.injected_total() < self.cfg.max_injections)
+        self.cfg.class == Some(class) && self.budget_open()
+    }
+
+    /// `true` when `class` can fire at cycle `now` through either mode
+    /// (legacy class or a hot burst) and the budget is open.
+    pub fn armed_at(&self, class: FaultClass, now: u64) -> bool {
+        (self.legacy_rate(class).is_some() || self.burst_rate(class, now).is_some())
+            && self.budget_open()
+    }
+
+    /// The shared dice-and-site-filter core: consumes one RNG draw when
+    /// `rate` permits firing, counts the would-fire opportunity, and
+    /// applies the `sites` allow-list.
+    fn roll_with_rate(&mut self, rate: Option<u32>) -> bool {
+        let Some(rate) = rate else {
+            return false;
+        };
+        if !self.budget_open() {
+            return false;
+        }
+        let fires = rate >= 1000 || self.rng.below(1000) < rate as u64;
+        if !fires {
+            return false;
+        }
+        let site = self.opportunities;
+        self.opportunities += 1;
+        self.cfg.sites.is_empty() || self.cfg.sites.contains(&site)
     }
 
     /// Rolls the injection dice for `class`: `true` when the fault
     /// should fire *and the caller will apply it*. The caller records
     /// the injection via [`FaultPlan::record_injection`] only once the
     /// damage is actually applied (targeted corruptions may find no
-    /// victim).
+    /// victim). Legacy single-class entry point — equivalent to
+    /// [`FaultPlan::roll_at`] at cycle 0 for burst-free configs.
     pub fn roll(&mut self, class: FaultClass) -> bool {
-        if !self.armed(class) {
-            return false;
-        }
-        self.cfg.rate_per_mille >= 1000 || self.rng.below(1000) < self.cfg.rate_per_mille as u64
+        self.roll_at(class, 0)
+    }
+
+    /// Rolls for `class` at cycle `now`, arming through whichever mode
+    /// (legacy class or hot burst) offers the higher rate.
+    pub fn roll_at(&mut self, class: FaultClass, now: u64) -> bool {
+        let rate = match (self.legacy_rate(class), self.burst_rate(class, now)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.roll_with_rate(rate)
+    }
+
+    /// Rolls for `class` at cycle `now` through burst windows only —
+    /// used for the NoC classes at the machine layer, where the legacy
+    /// single-class mode already injects inside the network itself (a
+    /// combined roll would double-inject).
+    pub fn roll_burst_at(&mut self, class: FaultClass, now: u64) -> bool {
+        let rate = self.burst_rate(class, now);
+        self.roll_with_rate(rate)
     }
 
     /// Records one applied injection of `class`.
@@ -409,6 +699,34 @@ pub fn validate_snapshot(v: &Value) -> Result<(), String> {
         line.as_str()
             .ok_or_else(|| format!("recent_events[{i}] is not a string"))?;
     }
+    // Optional on fault-free snapshots; faulty runs embed the active
+    // schedule so a multi-fault stall is attributable without a rerun.
+    if let Some(fault) = v.get("fault") {
+        for (i, class) in need_array(fault, "classes")?.iter().enumerate() {
+            class
+                .as_str()
+                .and_then(FaultClass::parse)
+                .ok_or_else(|| format!("fault.classes[{i}] is not a fault-class label"))?;
+        }
+        for (i, burst) in need_array(fault, "bursts")?.iter().enumerate() {
+            need(burst, "class")
+                .ok()
+                .and_then(Value::as_str)
+                .and_then(FaultClass::parse)
+                .ok_or_else(|| format!("fault.bursts[{i}]: `class` is not a fault-class label"))?;
+            for key in ["onset", "len", "gap", "rate"] {
+                need_u64(burst, key).map_err(|e| format!("fault.bursts[{i}]: {e}"))?;
+            }
+            let phase = need(burst, "phase")
+                .ok()
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("fault.bursts[{i}]: `phase` is not a string"))?;
+            if !matches!(phase, "pending" | "burst" | "gap") {
+                return Err(format!("fault.bursts[{i}]: unknown phase `{phase}`"));
+            }
+        }
+        need_u64(fault, "injected").map_err(|e| format!("fault: {e}"))?;
+    }
     Ok(())
 }
 
@@ -457,6 +775,113 @@ mod tests {
         assert!(!plan.roll(FaultClass::NocDelay), "wrong class never arms");
         assert_eq!(plan.summary.injected_drop_grant, 2);
         assert_eq!(plan.summary.injected_total(), 2);
+    }
+
+    #[test]
+    fn burst_windows_gate_arming_by_cycle() {
+        let b = FaultBurst {
+            class: FaultClass::SharerFlip,
+            onset: 100,
+            len: 10,
+            gap: 90,
+            rate_per_mille: 1000,
+        };
+        assert_eq!(b.phase_at(0), "pending");
+        assert!(!b.active_at(99));
+        assert!(b.active_at(100));
+        assert!(b.active_at(109));
+        assert_eq!(b.phase_at(105), "burst");
+        assert!(!b.active_at(110));
+        assert_eq!(b.phase_at(150), "gap");
+        assert!(b.active_at(200), "window repeats every len+gap cycles");
+
+        let forever = FaultBurst {
+            len: 0,
+            gap: 0,
+            ..b
+        };
+        assert!(forever.active_at(100));
+        assert!(forever.active_at(1_000_000), "len 0 never switches off");
+
+        let mut plan = FaultPlan::new(FaultConfig::for_campaign(3).with_burst(b));
+        assert!(!plan.roll_at(FaultClass::SharerFlip, 50), "before onset");
+        assert!(plan.roll_at(FaultClass::SharerFlip, 105), "inside window");
+        assert!(!plan.roll_at(FaultClass::SharerFlip, 150), "in the gap");
+        assert!(
+            !plan.roll_at(FaultClass::StashClear, 105),
+            "other classes stay cold"
+        );
+        assert!(plan.armed_at(FaultClass::SharerFlip, 105));
+        assert!(!plan.armed_at(FaultClass::SharerFlip, 150));
+    }
+
+    #[test]
+    fn sites_filter_selects_individual_injections() {
+        let burst = FaultBurst {
+            class: FaultClass::StashClear,
+            onset: 0,
+            len: 0,
+            gap: 0,
+            rate_per_mille: 1000,
+        };
+        let mut cfg = FaultConfig::for_campaign(9).with_burst(burst);
+        cfg.sites = vec![1];
+        let mut plan = FaultPlan::new(cfg);
+        assert!(
+            !plan.roll_at(FaultClass::StashClear, 10),
+            "site 0 is filtered out"
+        );
+        assert!(plan.roll_at(FaultClass::StashClear, 20), "site 1 fires");
+        assert!(!plan.roll_at(FaultClass::StashClear, 30), "site 2 filtered");
+    }
+
+    #[test]
+    fn config_display_round_trips_through_from_str() {
+        let cfg = FaultConfig::for_class(FaultClass::DropGrant, 42);
+        let parsed: FaultConfig = cfg.to_string().parse().expect("parse");
+        assert_eq!(parsed, cfg);
+
+        let mut campaign = FaultConfig::for_campaign(7)
+            .with_burst(FaultBurst {
+                class: FaultClass::NocDelay,
+                onset: 200,
+                len: 50,
+                gap: 150,
+                rate_per_mille: 250,
+            })
+            .with_burst(FaultBurst {
+                class: FaultClass::StuckTransient,
+                onset: 0,
+                len: 0,
+                gap: 0,
+                rate_per_mille: 1000,
+            })
+            .with_witness();
+        campaign.sites = vec![3, 7];
+        let parsed: FaultConfig = campaign.to_string().parse().expect("parse");
+        assert_eq!(parsed, campaign);
+        assert_eq!(
+            campaign.enabled_classes(),
+            vec![FaultClass::NocDelay, FaultClass::StuckTransient],
+            "taxonomy order, deduplicated"
+        );
+    }
+
+    #[test]
+    fn parse_errors_list_every_valid_class_label() {
+        let err = "class=bogus".parse::<FaultConfig>().expect_err("bad class");
+        for &class in FaultClass::ALL {
+            assert!(err.contains(class.label()), "{err} lists {}", class.label());
+        }
+        let err = "burst=bogus:0:0:0:1000"
+            .parse::<FaultConfig>()
+            .expect_err("bad burst class");
+        for &class in FaultClass::ALL {
+            assert!(err.contains(class.label()), "{err} lists {}", class.label());
+        }
+        assert!("nonsense".parse::<FaultConfig>().is_err());
+        assert!("pace=3".parse::<FaultConfig>().is_err());
+        assert!("burst=noc_delay:1:2".parse::<FaultConfig>().is_err());
     }
 
     #[test]

@@ -24,6 +24,26 @@ pub struct TimelineSample {
     pub discoveries: u64,
 }
 
+/// One witnessed (row × column) protocol transition and how often it
+/// fired, recorded only when the fault layer runs with transition
+/// witnessing enabled ([`FaultConfig::witness`]). Row/column labels
+/// match the lint protocol-model artifact so campaign coverage can be
+/// diffed directly against the reachable set.
+///
+/// [`FaultConfig::witness`]: crate::fault::FaultConfig
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionHits {
+    /// Matrix section: `private_probe`, `local_access`, `home` or
+    /// `fault_response`.
+    pub section: String,
+    /// Row label (private state, or fault class for `fault_response`).
+    pub row: String,
+    /// Column label (probe, op, directory view or detector).
+    pub col: String,
+    /// Times the transition fired during the run.
+    pub hits: u64,
+}
+
 /// The output of one simulation run: the execution time, completion
 /// accounting, any invariant/consistency violations detected, and the
 /// full statistics sink (caches, directory, NoC, DRAM, discovery).
@@ -65,6 +85,9 @@ pub struct SimReport {
     /// Diagnostic snapshot (canonical JSON) dumped when a faulty run
     /// quiesced on a violation or stall; `None` on normal runs.
     pub snapshot: Option<String>,
+    /// Per-transition hit counts, sorted by (section, row, col); empty
+    /// unless the run witnessed transitions (campaign mode).
+    pub coverage: Vec<TransitionHits>,
 }
 
 impl SimReport {
@@ -142,6 +165,7 @@ mod tests {
             timeline: Vec::new(),
             fault: FaultSummary::default(),
             snapshot: None,
+            coverage: Vec::new(),
         }
     }
 

@@ -69,7 +69,7 @@ pub use stashdir_core::{
     SharerFormat, SparseDirectory, StashDirectory,
 };
 pub use stashdir_sim::{
-    expected_detector, CoverageRatio, Detector, DirSpec, FaultClass, FaultConfig, FaultPlan,
-    FaultSummary, Machine, SimReport, SystemConfig, TAXONOMY,
+    expected_detector, CoverageRatio, Detector, DirSpec, FaultBurst, FaultClass, FaultConfig,
+    FaultPlan, FaultSummary, Machine, SimReport, SystemConfig, TransitionHits, TAXONOMY,
 };
 pub use stashdir_workloads::{Characterization, Workload};
