@@ -54,6 +54,21 @@ e18_count=$(echo "$e18_backends" | wc -l)
   || { echo "E18 smoke FAILED: only $e18_count backends in CSV:"; echo "$e18_backends"; exit 1; }
 rm -rf "$e18_dir"
 
+# XL-scaling smoke (E20): one budgeted 256-core point through the
+# struct-of-arrays sim core, from a scratch cwd so the committed
+# full-scale results/e20_scaling_xl.csv is not clobbered. Passes when
+# the sweep completes and the CSV carries all four core counts (the
+# 128-1024 rows assemble even when only the smoke ops ran).
+echo "== XL-scaling smoke (E20)"
+e20_dir=$(mktemp -d)
+(cd "$e20_dir" && cargo run -q --manifest-path "$repo_root/Cargo.toml" \
+  -p stashdir-harness --offline --bin sweep -- \
+  --plan scaling_xl --run ci_scaling_xl --ops 40 --no-progress >/dev/null)
+e20_rows=$(tail -n +2 "$e20_dir/results/e20_scaling_xl.csv" | cut -d, -f2 | sort -un)
+[[ "$e20_rows" == $'128\n256\n512\n1024' ]] \
+  || { echo "E20 smoke FAILED: core counts in CSV:"; echo "$e20_rows"; exit 1; }
+rm -rf "$e20_dir"
+
 # Chaos campaign smoke (E19): a short budgeted coverage-guided campaign
 # from a scratch cwd against the freshly written protocol model. Passes
 # when composing fault classes pairwise still catches all 7 (the E17

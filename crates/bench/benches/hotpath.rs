@@ -1,6 +1,7 @@
-//! The hot-path benchmark gate: microbenches of the three inner-loop
-//! structures this repo optimized — event diagnostics, directory
-//! lookup keys, and stat bumping — plus one scaled-down E9 macro point,
+//! The hot-path benchmark gate: microbenches of the inner-loop
+//! structures this repo optimized — event diagnostics, message
+//! arena allocation, batched bank stepping, directory lookup keys, and
+//! stat bumping — plus scaled-down E9 macro points (64 and 256 cores),
 //! with a JSON baseline (`BENCH_sim_hotpath.json` at the repo root)
 //! and a `--check` mode that fails on regression.
 //!
@@ -21,7 +22,9 @@
 
 use criterion::{BenchResult, Criterion};
 use stashdir::common::json::Value;
-use stashdir::common::{BlockAddr, DetRng, FxHashMap, StatSink};
+use stashdir::common::{BlockAddr, Cycle, DetRng, FxHashMap, StatSink};
+use stashdir::sim::arena::Arena;
+use stashdir::sim::event::EventQueue;
 use stashdir::{CoverageRatio, DirConfig, DirSpec, SystemConfig, Workload};
 use stashdir_harness::{run_case, Params};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -92,6 +95,115 @@ fn bench_event_dispatch(c: &mut Criterion) {
                 head = (head + 1) % RING_DEPTH;
             }
             black_box(ring.len())
+        });
+    });
+    group.finish();
+}
+
+/// Stand-in for `machine::BankMsg` (same shape/size as the simulator's
+/// in-flight message payload).
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)]
+struct BenchMsg {
+    from: u16,
+    block: u64,
+    version: u64,
+}
+
+/// Same-cycle events per wave — a whole machine's banks firing at once,
+/// the shape the SoA overhaul batches (one wave ≈ one cycle at 64
+/// cores).
+const WAVE: usize = 64;
+
+fn wave_msg(cycle: u64, i: usize) -> BenchMsg {
+    BenchMsg {
+        from: (i % WAVE) as u16,
+        block: cycle.wrapping_mul(7).wrapping_add(i as u64),
+        version: cycle,
+    }
+}
+
+fn bench_msg_arena(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msg_arena");
+    // Legacy: one heap allocation per in-flight message, freed at pop,
+    // with the pointer carried through every heap sift.
+    group.bench_function("boxed", |b| {
+        let mut queue: EventQueue<Box<BenchMsg>> = EventQueue::new();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            for i in 0..WAVE {
+                queue.push(Cycle::new(cycle), Box::new(wave_msg(cycle, i)));
+            }
+            let mut sum = 0u64;
+            while let Some((_, msg)) = queue.pop() {
+                sum = sum.wrapping_add(msg.version);
+            }
+            black_box(sum)
+        });
+    });
+    // Post: payloads live in a generation-checked slab; the queue holds
+    // 8-byte handles, and freed slots recycle through the freelist so
+    // steady state allocates nothing.
+    group.bench_function("slab_handles", |b| {
+        let mut queue: EventQueue<stashdir::sim::arena::SlabRef> = EventQueue::new();
+        let mut arena: Arena<BenchMsg> = Arena::new();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            for i in 0..WAVE {
+                let slot = arena.alloc(wave_msg(cycle, i));
+                queue.push(Cycle::new(cycle), slot);
+            }
+            let mut sum = 0u64;
+            while let Some((_, slot)) = queue.pop() {
+                if let Some(msg) = arena.take(slot) {
+                    sum = sum.wrapping_add(msg.version);
+                }
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+fn bench_bank_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bank_step");
+    // Legacy: one heap pop (full sift) per event, even when a whole
+    // wave of bank messages lands on the same cycle.
+    group.bench_function("pop_per_event", |b| {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            for i in 0..WAVE as u32 {
+                queue.push(Cycle::new(cycle), i);
+            }
+            let mut sum = 0u32;
+            while let Some((_, e)) = queue.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        });
+    });
+    // Post: drain the whole cycle into a reused contiguous buffer and
+    // walk it linearly (`pop_batch`), amortizing the heap churn.
+    group.bench_function("pop_batch", |b| {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        let mut buf: Vec<u32> = Vec::new();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            for i in 0..WAVE as u32 {
+                queue.push(Cycle::new(cycle), i);
+            }
+            let mut sum = 0u32;
+            while queue.pop_batch(&mut buf).is_some() {
+                for &e in &buf {
+                    sum = sum.wrapping_add(e);
+                }
+            }
+            black_box(sum)
         });
     });
     group.finish();
@@ -186,6 +298,22 @@ fn bench_macro_e9(c: &mut Criterion) {
             black_box(report.cycles)
         });
     });
+    // The XL point the SoA overhaul unlocked: 256 cores through the
+    // same stack (E20's second grid column), op budget scaled down to
+    // keep the gate quick.
+    group.bench_function("e9_256c_stash8_scaled", |b| {
+        let config = SystemConfig::default()
+            .with_cores(256)
+            .with_dir(DirSpec::stash(CoverageRatio::new(1, 8)));
+        b.iter(|| {
+            let report = run_case(
+                config.clone(),
+                Workload::DataParallel,
+                Params { ops: 10, seed: 7 },
+            );
+            black_box(report.cycles)
+        });
+    });
     group.finish();
 }
 
@@ -229,6 +357,12 @@ fn check_improvement(results: &[BenchResult]) -> Result<(), String> {
             "stat_bump",
             "stat_bump/string_btreemap",
             "stat_bump/interned",
+        ),
+        ("msg_arena", "msg_arena/boxed", "msg_arena/slab_handles"),
+        (
+            "bank_step",
+            "bank_step/pop_per_event",
+            "bank_step/pop_batch",
         ),
     ];
     let mut best = f64::MIN;
@@ -307,6 +441,8 @@ fn main() -> ExitCode {
 
     let mut criterion = Criterion::default();
     bench_event_dispatch(&mut criterion);
+    bench_msg_arena(&mut criterion);
+    bench_bank_step(&mut criterion);
     bench_dir_lookup(&mut criterion);
     bench_stat_bump(&mut criterion);
     bench_macro_e9(&mut criterion);

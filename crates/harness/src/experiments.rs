@@ -225,6 +225,14 @@ pub fn registry() -> Vec<Experiment> {
             cases_fn: e19_cases,
             assemble_fn: e19_assemble,
         },
+        Experiment {
+            key: "scaling_xl",
+            code: "E20",
+            csv: "e20_scaling_xl",
+            summary: "128-1024-core scaling at 1/8 coverage (SoA sim core)",
+            cases_fn: e20_cases,
+            assemble_fn: e20_assemble,
+        },
     ]
 }
 
@@ -1382,6 +1390,74 @@ fn e19_assemble(p: Params, results: &ResultSet) -> Assembled {
     }
 }
 
+// ---------------------------------------------------------------- E20
+
+/// The XL extension of E9's grid: same three organizations, four
+/// doublings past E9's 64-core ceiling. One workload (data-parallel,
+/// the paper's private-heavy best case for stash) keeps the plan
+/// budgeted — each point already simulates `cores × ops` operations,
+/// and the 1024-core stash point alone covers 10M+ ops at default
+/// params.
+const E20_CORES: [u16; 4] = [128, 256, 512, 1024];
+
+fn e20_cases(p: Params) -> Vec<CaseSpec> {
+    let mut cases = Vec::new();
+    for cores in E20_CORES {
+        cases.push(scaled_case(
+            DirSpec::FullMap,
+            cores,
+            Workload::DataParallel,
+            p,
+        ));
+        cases.push(scaled_case(
+            DirSpec::sparse(eighth()),
+            cores,
+            Workload::DataParallel,
+            p,
+        ));
+        cases.push(scaled_case(
+            DirSpec::stash(eighth()),
+            cores,
+            Workload::DataParallel,
+            p,
+        ));
+    }
+    cases
+}
+
+fn e20_assemble(p: Params, results: &ResultSet) -> Assembled {
+    let mut table = Table::new(
+        "E20 / Fig G-XL — 128-1024-core scaling at 1/8 coverage (normalized to full-map at each core count)",
+        &[
+            "workload",
+            "cores",
+            "sparse_norm",
+            "stash_norm",
+            "stash_disc/kop",
+        ],
+    );
+    let workload = Workload::DataParallel;
+    for cores in E20_CORES {
+        let ideal = report(results, &scaled_case(DirSpec::FullMap, cores, workload, p));
+        let sparse = report(
+            results,
+            &scaled_case(DirSpec::sparse(eighth()), cores, workload, p),
+        );
+        let stash = report(
+            results,
+            &scaled_case(DirSpec::stash(eighth()), cores, workload, p),
+        );
+        table.row(vec![
+            workload.name().to_string(),
+            cores.to_string(),
+            f3(sparse.cycles as f64 / ideal.cycles as f64),
+            f3(stash.cycles as f64 / ideal.cycles as f64),
+            f2(stash.discoveries_per_kop()),
+        ]);
+    }
+    Assembled { table, note: None }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1393,19 +1469,19 @@ mod tests {
     #[test]
     fn registry_keys_and_csvs_are_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 19);
         let mut keys: Vec<_> = reg.iter().map(|e| e.key).collect();
         keys.sort_unstable();
         keys.dedup();
-        assert_eq!(keys.len(), 18, "duplicate experiment key");
+        assert_eq!(keys.len(), 19, "duplicate experiment key");
         let mut csvs: Vec<_> = reg.iter().map(|e| e.csv).collect();
         csvs.sort_unstable();
         csvs.dedup();
-        assert_eq!(csvs.len(), 18, "duplicate csv stem");
+        assert_eq!(csvs.len(), 19, "duplicate csv stem");
         let mut codes: Vec<_> = reg.iter().map(|e| e.code).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 18, "duplicate experiment code");
+        assert_eq!(codes.len(), 19, "duplicate experiment code");
     }
 
     /// Every registered backend fields an E18 contender, and every

@@ -1,0 +1,219 @@
+//! Generation-indexed slab arena for in-flight message payloads.
+//!
+//! The event queue stores 8-byte [`SlabRef`] handles instead of full
+//! message payloads, so every heap sift moves a small key while the
+//! payloads sit in one contiguous slab here. Freed slots go onto a
+//! freelist and are reused in LIFO order — the hot allocation path is a
+//! `Vec` pop plus a slot write, with no heap traffic after the slab
+//! reaches the run's high-water mark of simultaneously in-flight
+//! messages.
+//!
+//! Every slot carries a generation counter, bumped on each free. A
+//! handle resolves only while its generation matches the slot's, so a
+//! stale handle (one whose slot was recycled for a newer message) can
+//! never silently alias the new payload — [`Arena::get`] and
+//! [`Arena::take`] return `None` instead. The property test below
+//! drives random allocate/free/reuse sequences against a map model to
+//! pin this down.
+
+/// Handle to a live arena slot: slab index plus the generation the slot
+/// had when the payload was allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabRef {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A slab of `T` payloads with freelist reuse and stale-handle
+/// detection. See the module docs.
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `val`, returning the handle that resolves it.
+    pub fn alloc(&mut self, val: T) -> SlabRef {
+        if let Some(idx) = self.free.pop() {
+            let slot = self
+                .slots
+                .get_mut(idx as usize)
+                // lint: allow(expect) — the freelist only ever holds indices of slots this arena pushed, and clear() empties both vectors together.
+                .expect("freelist index in bounds");
+            debug_assert!(slot.val.is_none(), "freelist slot still occupied");
+            slot.val = Some(val);
+            return SlabRef { idx, gen: slot.gen };
+        }
+        let idx = u32::try_from(self.slots.len())
+            // lint: allow(expect) — 2^32 simultaneously in-flight messages would exhaust memory long before this converts.
+            .expect("slab index fits u32");
+        self.slots.push(Slot {
+            gen: 0,
+            val: Some(val),
+        });
+        SlabRef { idx, gen: 0 }
+    }
+
+    /// The payload behind `r`, or `None` when the handle is stale (its
+    /// slot was freed, and possibly recycled since).
+    pub fn get(&self, r: SlabRef) -> Option<&T> {
+        let slot = self.slots.get(r.idx as usize)?;
+        if slot.gen != r.gen {
+            return None;
+        }
+        slot.val.as_ref()
+    }
+
+    /// Removes and returns the payload behind `r`, freeing the slot for
+    /// reuse, or `None` when the handle is stale. The slot's generation
+    /// is bumped, so `r` (and any copy of it) never resolves again.
+    pub fn take(&mut self, r: SlabRef) -> Option<T> {
+        let slot = self.slots.get_mut(r.idx as usize)?;
+        if slot.gen != r.gen {
+            return None;
+        }
+        let val = slot.val.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(r.idx);
+        Some(val)
+    }
+
+    /// Number of live (allocated, not yet taken) payloads.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated (the high-water mark of simultaneous
+    /// liveness).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drops every payload and forgets every slot. Outstanding handles
+    /// index past the (now empty) slab and resolve to `None`.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_take_roundtrip() {
+        let mut a = Arena::new();
+        let r = a.alloc(42u64);
+        assert_eq!(a.get(r), Some(&42));
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.take(r), Some(42));
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.get(r), None, "taken handle is dead");
+        assert_eq!(a.take(r), None, "double take is dead");
+    }
+
+    #[test]
+    fn freed_slots_are_reused_with_fresh_generations() {
+        let mut a = Arena::new();
+        let r1 = a.alloc(1u64);
+        assert_eq!(a.take(r1), Some(1));
+        let r2 = a.alloc(2u64);
+        assert_eq!(r2.idx, r1.idx, "LIFO freelist reuses the slot");
+        assert_ne!(r2.gen, r1.gen, "reuse bumps the generation");
+        assert_eq!(a.capacity(), 1, "no new slot was grown");
+        assert_eq!(a.get(r1), None, "stale handle cannot see the new payload");
+        assert_eq!(a.take(r1), None);
+        assert_eq!(a.take(r2), Some(2));
+    }
+
+    #[test]
+    fn clear_kills_outstanding_handles() {
+        let mut a = Arena::new();
+        let r = a.alloc(7u64);
+        a.clear();
+        assert_eq!(a.get(r), None);
+        assert_eq!(a.take(r), None);
+        assert_eq!(a.live(), 0);
+        // The arena stays usable after a clear.
+        let r2 = a.alloc(8u64);
+        assert_eq!(a.take(r2), Some(8));
+    }
+
+    proptest::proptest! {
+        /// Model check: drive a random allocate/free schedule against a
+        /// map of live handles. Live handles always resolve to exactly
+        /// their payload; freed handles never resolve again, even after
+        /// their slot is recycled (the stale-generation property).
+        #[test]
+        fn never_hands_out_a_stale_generation(
+            ops in proptest::collection::vec(0u8..4, 1..200),
+        ) {
+            let mut arena = Arena::new();
+            let mut live: Vec<(SlabRef, u64)> = Vec::new();
+            let mut dead: Vec<SlabRef> = Vec::new();
+            let mut next_val = 0u64;
+            for op in ops {
+                match op {
+                    // Allocate (weighted x2 so slabs grow and recycle).
+                    0 | 1 => {
+                        let r = arena.alloc(next_val);
+                        proptest::prop_assert!(
+                            !live.iter().any(|&(l, _)| l == r),
+                            "handle collides with a live one"
+                        );
+                        proptest::prop_assert!(
+                            !dead.contains(&r),
+                            "handle collides with a dead one"
+                        );
+                        live.push((r, next_val));
+                        next_val += 1;
+                    }
+                    // Free the oldest live handle.
+                    2 if !live.is_empty() => {
+                        let (r, v) = live.remove(0);
+                        proptest::prop_assert_eq!(arena.take(r), Some(v));
+                        dead.push(r);
+                    }
+                    // Probe every dead handle: all must stay dead.
+                    _ => {
+                        for &r in &dead {
+                            proptest::prop_assert_eq!(arena.get(r), None);
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(arena.live(), live.len());
+                for &(r, v) in &live {
+                    proptest::prop_assert_eq!(arena.get(r), Some(&v));
+                }
+            }
+            // Drain the survivors; their handles die too.
+            for (r, v) in live {
+                proptest::prop_assert_eq!(arena.take(r), Some(v));
+                proptest::prop_assert_eq!(arena.get(r), None);
+            }
+            proptest::prop_assert_eq!(arena.live(), 0);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! out) — otherwise every block arriving at bank *i* would share low bits
 //! and pile into a fraction of the sets.
 
-use stashdir_common::{BankId, BlockAddr, Counter, Cycle, FxHashMap, StatSink};
+use stashdir_common::{BankId, BlockAddr, Counter, StatSink};
 use stashdir_core::{DirectoryModel, EvictionAction};
 use stashdir_mem::{CacheConfig, CacheStats, SetAssoc};
 use stashdir_protocol::DirView;
@@ -154,10 +154,6 @@ pub struct Bank {
     /// sharding: the shard holds other banks' home blocks, so the
     /// bank-local compression would be wrong).
     dir_global_keys: bool,
-    /// Per-block transaction serialization windows.
-    block_busy: FxHashMap<BlockAddr, Cycle>,
-    /// Bank controller pipeline availability.
-    pub free_at: Cycle,
     /// LLC hit/miss accounting.
     pub llc_stats: CacheStats,
     /// Bank-specific counters.
@@ -183,8 +179,6 @@ impl Bank {
             llc: SetAssoc::new(llc_cfg.num_sets(), llc_cfg.assoc(), llc_cfg.repl, seed),
             dir,
             dir_global_keys,
-            block_busy: FxHashMap::default(),
-            free_at: Cycle::ZERO,
             llc_stats: CacheStats::default(),
             stats: BankStats::default(),
             backend: BackendStats::default(),
@@ -208,17 +202,6 @@ impl Bank {
 
     fn global(&self, local: BlockAddr) -> BlockAddr {
         BlockAddr::new((local.get() << self.bank_bits) | self.id.get() as u64)
-    }
-
-    /// When the previous transaction on `block` completes (ZERO if idle).
-    pub fn block_busy_until(&self, block: BlockAddr) -> Cycle {
-        self.block_busy.get(&block).copied().unwrap_or(Cycle::ZERO)
-    }
-
-    /// Extends the serialization window of `block` to `until`.
-    pub fn hold_block(&mut self, block: BlockAddr, until: Cycle) {
-        let slot = self.block_busy.entry(block).or_insert(Cycle::ZERO);
-        *slot = (*slot).max(until);
     }
 
     // ---- LLC ----
@@ -488,15 +471,6 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-    }
-
-    #[test]
-    fn block_busy_windows() {
-        let mut b = bank();
-        assert_eq!(b.block_busy_until(blk(0)), Cycle::ZERO);
-        b.hold_block(blk(0), Cycle::new(100));
-        b.hold_block(blk(0), Cycle::new(50)); // never shrinks
-        assert_eq!(b.block_busy_until(blk(0)), Cycle::new(100));
     }
 
     #[test]

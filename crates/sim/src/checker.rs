@@ -189,13 +189,21 @@ pub fn check(machine: &Machine, final_check: bool) -> Vec<String> {
 
     // I6: liveness (final only).
     if final_check {
-        for (i, core) in machine.cores.iter().enumerate() {
-            if core.pc < core.trace.len() || core.pending.is_some() || core.finish.is_none() {
+        let cores = &machine.cores;
+        for (i, (((pc, trace), pending), finish)) in cores
+            .pc
+            .iter()
+            .zip(&cores.trace)
+            .zip(&cores.pending)
+            .zip(&cores.finish)
+            .enumerate()
+        {
+            if *pc < trace.len() || pending.is_some() || finish.is_none() {
                 problems.push(format!(
                     "I6: core{i} did not retire its trace (pc {}/{}, pending={})",
-                    core.pc,
-                    core.trace.len(),
-                    core.pending.is_some()
+                    pc,
+                    trace.len(),
+                    pending.is_some()
                 ));
             }
         }

@@ -11,6 +11,7 @@
 // indexed by CoreId/BankId produced by the config-bounded topology, so
 // the bounds hold by construction.
 
+use crate::arena::{Arena, SlabRef};
 use crate::bank::{Bank, LlcLine};
 use crate::config::SystemConfig;
 use crate::event::EventQueue;
@@ -26,9 +27,6 @@ use stashdir_common::{
 use stashdir_core::EvictionAction;
 use stashdir_mem::DramModel;
 use stashdir_noc::{LinkFaultConfig, Network};
-use stashdir_protocol::reachability::{
-    op_label, probe_label, request_label, state_label, view_label,
-};
 use stashdir_protocol::{
     decide, decide_put, discovery_intent, discovery_targets, needs_discovery, DirView,
     DiscoveryIntent, Grant, PrivState, Probe, ProbeReply, PutOutcome, Request, CONTROL_FLITS,
@@ -38,33 +36,127 @@ use stashdir_protocol::{
 /// (maintained only while fault injection is threaded).
 const RECENT_EVENTS: usize = 32;
 
-/// Per-(row × column) transition hit counters, keyed by the canonical
-/// labels of `stashdir_protocol::reachability` so campaign coverage can
-/// be diffed against the lint protocol-model artifact without any label
-/// translation. `BTreeMap` keeps export order deterministic (the
-/// determinism lint forbids hash-order iteration into artifacts).
+/// Transition-label domain sizes for the interned witness counters.
+const N_STATES: usize = 4;
+const N_PROBES: usize = 6;
+const N_OPS: usize = 2;
+const N_REQUESTS: usize = 6;
+const N_VIEWS: usize = 3;
+
+/// Interned row/column index of each label domain. Every `*_idx`
+/// function is the inverse of the matching `*_LABELS` table, and the
+/// tables carry exactly the canonical labels of
+/// `stashdir_protocol::reachability` (asserted in tests), so campaign
+/// coverage still diffs against the lint protocol-model artifact with
+/// no label translation.
+fn state_idx(s: PrivState) -> usize {
+    match s {
+        PrivState::Invalid => 0,
+        PrivState::Shared => 1,
+        PrivState::Exclusive => 2,
+        PrivState::Modified => 3,
+    }
+}
+const STATE_LABELS: [&str; N_STATES] = ["Invalid", "Shared", "Exclusive", "Modified"];
+
+fn probe_idx(p: Probe) -> usize {
+    match p {
+        Probe::FwdGetS => 0,
+        Probe::FwdGetM => 1,
+        Probe::Inv => 2,
+        Probe::Recall => 3,
+        Probe::Discovery(DiscoveryIntent::Share) => 4,
+        Probe::Discovery(DiscoveryIntent::Invalidate) => 5,
+    }
+}
+const PROBE_LABELS: [&str; N_PROBES] = [
+    "FwdGetS",
+    "FwdGetM",
+    "Inv",
+    "Recall",
+    "Discovery(Share)",
+    "Discovery(Invalidate)",
+];
+
+fn op_idx(k: MemOpKind) -> usize {
+    match k {
+        MemOpKind::Read => 0,
+        MemOpKind::Write => 1,
+    }
+}
+const OP_LABELS: [&str; N_OPS] = ["Read", "Write"];
+
+fn request_idx(r: Request) -> usize {
+    match r {
+        Request::GetS => 0,
+        Request::GetM => 1,
+        Request::Upgrade => 2,
+        Request::PutS => 3,
+        Request::PutE => 4,
+        Request::PutM => 5,
+    }
+}
+const REQUEST_LABELS: [&str; N_REQUESTS] = ["GetS", "GetM", "Upgrade", "PutS", "PutE", "PutM"];
+
+fn view_idx(v: &DirView) -> usize {
+    match v {
+        DirView::Untracked => 0,
+        DirView::Exclusive(_) => 1,
+        DirView::Shared(_) => 2,
+    }
+}
+const VIEW_LABELS: [&str; N_VIEWS] = ["Untracked", "Exclusive", "Shared"];
+
+/// Per-(row × column) transition hit counters over the small,
+/// statically known label spaces above, stored as flat arrays indexed
+/// by interned transition id (`row * cols + col`) — the hot-path bump
+/// is one array add, no tree walk. Export recovers the canonical
+/// labels and sorts them lexicographically, reproducing the ordered
+/// `(row, col)` iteration the former `BTreeMap` keys gave the artifact
+/// schema (the determinism lint forbids hash-order iteration into
+/// artifacts; a sorted flat array is order-deterministic by
+/// construction).
 ///
 /// Allocated only when the fault config asked for witnessing
 /// ([`FaultConfig::witness`]); plain and plain-chaos runs never touch
 /// it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct WitnessSet {
     /// Private-cache probe handling: (private state, probe).
-    probe: std::collections::BTreeMap<(&'static str, &'static str), u64>,
+    probe: [u64; N_STATES * N_PROBES],
     /// Core-local accesses: (private state, Read/Write).
-    local: std::collections::BTreeMap<(&'static str, &'static str), u64>,
+    local: [u64; N_STATES * N_OPS],
     /// Home decisions: (request, directory view).
-    home: std::collections::BTreeMap<(&'static str, &'static str), u64>,
+    home: [u64; N_REQUESTS * N_VIEWS],
+}
+
+impl Default for WitnessSet {
+    fn default() -> Self {
+        WitnessSet {
+            probe: [0; N_STATES * N_PROBES],
+            local: [0; N_STATES * N_OPS],
+            home: [0; N_REQUESTS * N_VIEWS],
+        }
+    }
 }
 
 impl WitnessSet {
     fn export(&self, coverage: &mut Vec<TransitionHits>) {
-        for (name, map) in [
-            ("private_probe", &self.probe),
-            ("local_access", &self.local),
-            ("home", &self.home),
-        ] {
-            for (&(row, col), &hits) in map {
+        type Section<'a> = (&'a str, &'a [u64], &'a [&'static str], &'a [&'static str]);
+        let sections: [Section; 3] = [
+            ("private_probe", &self.probe, &STATE_LABELS, &PROBE_LABELS),
+            ("local_access", &self.local, &STATE_LABELS, &OP_LABELS),
+            ("home", &self.home, &REQUEST_LABELS, &VIEW_LABELS),
+        ];
+        for (name, cells, rows, cols) in sections {
+            let mut hit: Vec<(&'static str, &'static str, u64)> = cells
+                .iter()
+                .enumerate()
+                .filter(|&(_, &hits)| hits > 0)
+                .map(|(id, &hits)| (rows[id / cols.len()], cols[id % cols.len()], hits))
+                .collect();
+            hit.sort_unstable();
+            for (row, col, hits) in hit {
                 coverage.push(TransitionHits {
                     section: name.to_string(),
                     row: row.to_string(),
@@ -120,23 +212,63 @@ impl EventRing {
     }
 }
 
-/// Per-core runtime state.
-#[derive(Debug)]
-pub(crate) struct CoreRt {
-    pub(crate) trace: Vec<MemOp>,
-    pub(crate) pc: usize,
-    pub(crate) pending: Option<MemOp>,
-    pub(crate) issue_time: Cycle,
-    pub(crate) finish: Option<Cycle>,
-    pub(crate) ops_done: u64,
+/// Per-core runtime state, struct-of-arrays: one dense vector per
+/// field, indexed by `CoreId`. The run loop's per-event touches
+/// (last-retire bump, pending check, pc advance) each hit one small
+/// contiguous array instead of striding across padded per-core structs
+/// — the layout that lets E9-style sweeps scale to 1024 cores.
+#[derive(Debug, Default)]
+pub(crate) struct CoreTable {
+    pub(crate) trace: Vec<Vec<MemOp>>,
+    pub(crate) pc: Vec<usize>,
+    pub(crate) pending: Vec<Option<MemOp>>,
+    pub(crate) issue_time: Vec<Cycle>,
+    pub(crate) finish: Vec<Option<Cycle>>,
+    pub(crate) ops_done: Vec<u64>,
+    /// Cycle of each core's most recent forward progress (watchdog).
+    pub(crate) last_retire: Vec<Cycle>,
 }
 
+impl CoreTable {
+    fn new(traces: Vec<Vec<MemOp>>) -> Self {
+        let n = traces.len();
+        CoreTable {
+            trace: traces,
+            pc: vec![0; n],
+            pending: vec![None; n],
+            issue_time: vec![Cycle::ZERO; n],
+            finish: vec![None; n],
+            ops_done: vec![0; n],
+            last_retire: vec![Cycle::ZERO; n],
+        }
+    }
+
+    /// Number of cores (zero until [`Machine::run`] installs traces).
+    pub(crate) fn len(&self) -> usize {
+        self.pc.len()
+    }
+}
+
+/// A fully resolved event: what handlers consume, what the diagnostic
+/// ring stores, and the `Debug` shape the snapshot schema renders.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// The core attempts its next trace operation.
     Issue(CoreId),
     /// A core→home protocol message arrives.
     BankMsg(BankMsg),
+}
+
+/// Compact queue payload: an issue slot, or an arena handle to a
+/// [`BankMsg`] parked in [`Machine::msgs`]. 8 bytes against the
+/// resolved [`Event`]'s ~32, so every heap sift moves a small key;
+/// handles resolve (and free their slot) at pop time, or read-only via
+/// [`Arena::get`] when a diagnostic snapshot renders in-flight
+/// messages.
+#[derive(Debug, Clone, Copy)]
+enum QueuedEvent {
+    Issue(CoreId),
+    Msg(SlabRef),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -166,17 +298,36 @@ struct DiscoveryHit {
 pub struct Machine {
     pub(crate) cfg: SystemConfig,
     pub(crate) net: Network,
-    chan_last: FxHashMap<(NodeId, NodeId), Cycle>,
-    pub(crate) cores: Vec<CoreRt>,
+    /// Dense per-channel FIFO clamp: `nodes × nodes` last-arrival
+    /// matrix, flat-indexed `src * nodes + dst`. A hot per-message
+    /// lookup with a statically known key space — no hashing.
+    chan_last: Vec<Cycle>,
+    nodes: usize,
+    pub(crate) cores: CoreTable,
     pub(crate) privs: Vec<PrivateHier>,
     pub(crate) banks: Vec<Bank>,
+    /// Per-bank controller pipeline availability, dense by `BankId`.
+    bank_free: Vec<Cycle>,
+    /// Per-block transaction serialization windows (all banks; a block
+    /// is only ever held at its home, so one map cannot collide).
+    block_busy: FxHashMap<BlockAddr, Cycle>,
     pub(crate) dram: DramModel,
     pub(crate) dram_store: FxHashMap<BlockAddr, u64>,
     pub(crate) values: ValueTracker,
     /// DLS only: blocks reclassified shared (a second core touched them);
     /// they are served at the home LLC and never cached privately again.
     pub(crate) dls_shared: FxHashSet<BlockAddr>,
-    queue: EventQueue<Event>,
+    queue: EventQueue<QueuedEvent>,
+    /// In-flight message payloads; the queue holds handles into this
+    /// slab (see [`QueuedEvent`]).
+    msgs: Arena<BankMsg>,
+    /// The cycle batch currently being swept by the run loop, with
+    /// [`Machine::batch_pos`] marking the next unprocessed entry. Lives
+    /// on the machine (not the loop) so a mid-batch quiesce can render
+    /// the unprocessed remainder as in-flight — exactly the events a
+    /// one-at-a-time pop loop would still have queued.
+    batch: Vec<QueuedEvent>,
+    batch_pos: usize,
     bank_bits: u32,
     transactions: u64,
     miss_latency: Histogram,
@@ -186,7 +337,10 @@ pub struct Machine {
     next_sample: Cycle,
     faults: Option<FaultPlan>,
     witness: Option<Box<WitnessSet>>,
-    last_retire: Vec<Cycle>,
+    /// Cached lower bound on every unfinished core's last-retire cycle;
+    /// lets the watchdog skip its O(cores) scan while no stall is
+    /// possible (see [`Machine::watchdog_tripped`]).
+    retire_floor: Cycle,
     recent_events: EventRing,
     snapshot: Option<String>,
     quiesced: bool,
@@ -225,17 +379,24 @@ impl Machine {
                 )
             })
             .collect();
+        let nodes = config.cores as usize;
         Machine {
             net: Network::new(mesh, config.noc),
-            chan_last: FxHashMap::default(),
-            cores: Vec::new(),
+            chan_last: vec![Cycle::ZERO; nodes * nodes],
+            nodes,
+            cores: CoreTable::default(),
             privs,
             banks,
+            bank_free: vec![Cycle::ZERO; nodes],
+            block_busy: FxHashMap::default(),
             dram: DramModel::new(config.dram),
             dram_store: FxHashMap::default(),
             values: ValueTracker::new(),
             dls_shared: FxHashSet::default(),
             queue: EventQueue::new(),
+            msgs: Arena::new(),
+            batch: Vec::new(),
+            batch_pos: 0,
             bank_bits,
             transactions: 0,
             miss_latency: Histogram::new(),
@@ -252,7 +413,7 @@ impl Machine {
             },
             faults: None,
             witness: None,
-            last_retire: Vec::new(),
+            retire_floor: Cycle::ZERO,
             recent_events: EventRing::new(),
             snapshot: None,
             quiesced: false,
@@ -334,41 +495,46 @@ impl Machine {
             self.cfg.cores as usize,
             "need exactly one trace per core"
         );
-        self.cores = traces
-            .into_iter()
-            .map(|trace| CoreRt {
-                trace,
-                pc: 0,
-                pending: None,
-                issue_time: Cycle::ZERO,
-                finish: None,
-                ops_done: 0,
-            })
-            .collect();
-        self.last_retire = vec![Cycle::ZERO; self.cfg.cores as usize];
+        self.cores = CoreTable::new(traces);
         for c in 0..self.cfg.cores {
-            self.queue.push(Cycle::ZERO, Event::Issue(CoreId::new(c)));
+            self.queue
+                .push(Cycle::ZERO, QueuedEvent::Issue(CoreId::new(c)));
         }
         let mut last = Cycle::ZERO;
-        while let Some((now, event)) = self.queue.pop() {
+        // Batched stepping: each iteration drains one cycle's events
+        // into the reused machine-level buffer, then sweeps them from
+        // contiguous memory. Same-cycle pushes made by handlers carry
+        // larger sequence numbers, so they form the next batch at that
+        // cycle — exactly the one-at-a-time pop order (see
+        // `EventQueue::pop_batch`).
+        'cycles: while let Some(now) = self.queue.pop_batch(&mut self.batch) {
             debug_assert!(now >= last, "time went backwards");
             last = now;
-            if self.faults.is_some() {
-                self.note_event(now, &event);
-                if self.watchdog_tripped(now) {
-                    break;
+            self.batch_pos = 0;
+            while self.batch_pos < self.batch.len() {
+                let queued = self.batch[self.batch_pos];
+                // Advance *before* handling: the event now being
+                // processed is no longer in flight (matching pop
+                // semantics for any snapshot taken inside the handler).
+                self.batch_pos += 1;
+                let event = self.resolve(queued);
+                if self.faults.is_some() {
+                    self.note_event(now, &event);
+                    if self.watchdog_tripped(now) {
+                        break 'cycles;
+                    }
                 }
-            }
-            if now >= self.next_sample {
-                self.record_sample(now);
-                self.next_sample = now + self.cfg.timeline_interval;
-            }
-            match event {
-                Event::Issue(core) => self.handle_issue(core, now),
-                Event::BankMsg(msg) => self.handle_bank_msg(msg, now),
-            }
-            if self.quiesced {
-                break;
+                if now >= self.next_sample {
+                    self.record_sample(now);
+                    self.next_sample = now + self.cfg.timeline_interval;
+                }
+                match event {
+                    Event::Issue(core) => self.handle_issue(core, now),
+                    Event::BankMsg(msg) => self.handle_bank_msg(msg, now),
+                }
+                if self.quiesced {
+                    break 'cycles;
+                }
             }
         }
         let violations = self.final_check();
@@ -405,7 +571,7 @@ impl Machine {
         self.timeline.push(TimelineSample {
             cycle: now.get(),
             dir_occupancy,
-            ops: self.cores.iter().map(|c| c.ops_done).sum(),
+            ops: self.cores.ops_done.iter().sum(),
             silent_evictions: silent,
             invalidating_evictions: inval,
             discoveries,
@@ -424,7 +590,7 @@ impl Machine {
         t: Cycle,
     ) -> Cycle {
         let raw = self.net.send(src, dst, flits, class, t);
-        let slot = self.chan_last.entry((src, dst)).or_insert(Cycle::ZERO);
+        let slot = &mut self.chan_last[src.index() * self.nodes + dst.index()];
         let arrival = raw.max(*slot + 1);
         *slot = arrival;
         arrival
@@ -464,19 +630,52 @@ impl Machine {
                 }
             }
         }
+        let chan = src.index() * self.nodes + dst.index();
         let arrival = {
-            let slot = self.chan_last.entry((src, dst)).or_insert(Cycle::ZERO);
+            let slot = &mut self.chan_last[chan];
             let arrival = out.arrival.max(*slot + 1);
             *slot = arrival;
             arrival
         };
         let duplicate = out.duplicate.map(|raw| {
-            let slot = self.chan_last.entry((src, dst)).or_insert(Cycle::ZERO);
+            let slot = &mut self.chan_last[chan];
             let a = raw.max(*slot + 1);
             *slot = a;
             a
         });
         (arrival, duplicate)
+    }
+
+    /// Parks `msg` in the arena and schedules its handle for `at`.
+    fn push_msg(&mut self, at: Cycle, msg: BankMsg) {
+        let r = self.msgs.alloc(msg);
+        self.queue.push(at, QueuedEvent::Msg(r));
+    }
+
+    /// Resolves a popped queue payload into the full event, consuming
+    /// (and freeing) the arena slot of a message handle.
+    fn resolve(&mut self, queued: QueuedEvent) -> Event {
+        match queued {
+            QueuedEvent::Issue(core) => Event::Issue(core),
+            QueuedEvent::Msg(r) => Event::BankMsg(
+                self.msgs
+                    .take(r)
+                    // lint: allow(expect) — every handle is queued exactly once and taken exactly once at pop time; a stale handle here is a sim-core bug.
+                    .expect("queued message handle resolves"),
+            ),
+        }
+    }
+
+    /// The per-block transaction-serialization window (all banks; a
+    /// block is only ever held at its home, so one map cannot collide).
+    fn block_busy_until(&self, block: BlockAddr) -> Cycle {
+        self.block_busy.get(&block).copied().unwrap_or(Cycle::ZERO)
+    }
+
+    /// Extends `block`'s busy window to at least `until`.
+    fn hold_block(&mut self, block: BlockAddr, until: Cycle) {
+        let slot = self.block_busy.entry(block).or_insert(Cycle::ZERO);
+        *slot = (*slot).max(until);
     }
 
     // ---- fault injection, watchdog, quiesce ----
@@ -501,31 +700,29 @@ impl Machine {
         block: BlockAddr,
         probe: Probe,
     ) -> ProbeAnswer {
-        if let Some(w) = self.witness.as_mut() {
+        if self.witness.is_some() {
             let state = self.privs[target.index()].state_of(block);
-            *w.probe
-                .entry((state_label(state), probe_label(probe)))
-                .or_insert(0) += 1;
+            if let Some(w) = self.witness.as_mut() {
+                w.probe[state_idx(state) * N_PROBES + probe_idx(probe)] += 1;
+            }
         }
         self.privs[target.index()].apply_probe(block, probe)
     }
 
     /// Records a core-local (private state × Read/Write) access.
     fn witness_local(&mut self, core: CoreId, op: MemOp) {
-        if let Some(w) = self.witness.as_mut() {
+        if self.witness.is_some() {
             let state = self.privs[core.index()].state_of(op.block);
-            *w.local
-                .entry((state_label(state), op_label(op.kind)))
-                .or_insert(0) += 1;
+            if let Some(w) = self.witness.as_mut() {
+                w.local[state_idx(state) * N_OPS + op_idx(op.kind)] += 1;
+            }
         }
     }
 
     /// Records a home-side (request × directory view) decision.
     fn witness_home(&mut self, req: Request, view: &DirView) {
         if let Some(w) = self.witness.as_mut() {
-            *w.home
-                .entry((request_label(req), view_label(view)))
-                .or_insert(0) += 1;
+            w.home[request_idx(req) * N_VIEWS + view_idx(view)] += 1;
         }
     }
 
@@ -536,17 +733,30 @@ impl Machine {
         let Some(bound) = self.faults.as_ref().and_then(|p| p.watchdog_bound()) else {
             return false;
         };
+        // Fast path: `retire_floor` is a lower bound on every unfinished
+        // core's last-retire cycle, so while `now` is within the bound
+        // of the floor no core can possibly trip — skip the O(cores)
+        // scan entirely (the common case on healthy ticks).
+        if now.saturating_since(self.retire_floor) <= bound {
+            return false;
+        }
         let mut stalled = None;
-        for (i, core) in self.cores.iter().enumerate() {
-            if core.finish.is_none() {
-                let gap = now.saturating_since(self.last_retire[i]);
+        let mut floor = Cycle::MAX;
+        for i in 0..self.cores.len() {
+            if self.cores.finish[i].is_none() {
+                let retired = self.cores.last_retire[i];
+                let gap = now.saturating_since(retired);
                 if gap > bound {
                     stalled = Some((i, gap));
                     break;
                 }
+                floor = floor.min(retired);
             }
         }
         let Some((core, gap)) = stalled else {
+            // Full scan found nothing: the exact floor (Cycle::MAX when
+            // every core finished) re-arms the fast path.
+            self.retire_floor = floor;
             return false;
         };
         self.values.report(format!(
@@ -589,6 +799,7 @@ impl Machine {
         }
         self.snapshot = Some(self.diag_snapshot(now, reason).render());
         self.queue.clear();
+        self.msgs.clear();
     }
 
     /// Attempts state-corruption injections (sharer flip, stash clear,
@@ -704,11 +915,8 @@ impl Machine {
     /// and cache state, per-bank directory view, in-flight messages and
     /// the recent event trail.
     fn diag_snapshot(&self, now: Cycle, reason: &str) -> Value {
-        let cores = self
-            .cores
-            .iter()
-            .enumerate()
-            .map(|(i, core)| {
+        let cores = (0..self.cores.len())
+            .map(|i| {
                 let hier = &self.privs[i];
                 let l2 = hier
                     .l2_entries()
@@ -738,24 +946,24 @@ impl Machine {
                     .collect();
                 Value::object(vec![
                     ("core".into(), i.into()),
-                    ("pc".into(), core.pc.into()),
-                    ("trace_len".into(), core.trace.len().into()),
+                    ("pc".into(), self.cores.pc[i].into()),
+                    ("trace_len".into(), self.cores.trace[i].len().into()),
                     (
                         "pending".into(),
-                        core.pending
-                            .map_or(Value::Null, |op| format!("{op:?}").into()),
+                        self.cores.pending[i].map_or(Value::Null, |op| format!("{op:?}").into()),
                     ),
-                    ("ops_done".into(), core.ops_done.into()),
+                    ("ops_done".into(), self.cores.ops_done[i].into()),
                     (
                         "last_retire".into(),
-                        self.last_retire
+                        self.cores
+                            .last_retire
                             .get(i)
                             .copied()
                             .unwrap_or(Cycle::ZERO)
                             .get()
                             .into(),
                     ),
-                    ("finished".into(), core.finish.is_some().into()),
+                    ("finished".into(), self.cores.finish[i].is_some().into()),
                     ("l1_blocks".into(), Value::array(l1)),
                     ("l2".into(), Value::array(l2)),
                     ("writebacks".into(), Value::array(wbs)),
@@ -790,10 +998,37 @@ impl Machine {
                 ])
             })
             .collect();
-        let in_flight = self
+        // Lazily reconstruct the in-flight view from queue handles (the
+        // queue stores arena handles on the hot path; only a snapshot —
+        // quiesce, stall — pays to resolve and sort them into pop order).
+        // A read-only resolver: snapshots must not consume arena slots.
+        let peek = |queued: QueuedEvent| -> Event {
+            match queued {
+                QueuedEvent::Issue(core) => Event::Issue(core),
+                QueuedEvent::Msg(r) => Event::BankMsg(
+                    *self
+                        .msgs
+                        .get(r)
+                        // lint: allow(expect) — a queued handle stays live until the run loop takes it; the queue and arena are cleared together at quiesce.
+                        .expect("queued message handle resolves"),
+                ),
+            }
+        };
+        let mut pending: Vec<(Cycle, u64, Event)> = self
             .queue
-            .pending()
-            .into_iter()
+            .iter()
+            .map(|(t, seq, &queued)| (t, seq, peek(queued)))
+            .collect();
+        pending.sort_by_key(|&(t, seq, _)| (t, seq));
+        // The unprocessed remainder of the cycle batch being swept comes
+        // first: those events were drained from the queue but not yet
+        // handled, and every same-cycle event still *in* the queue was
+        // pushed later (larger seq), so remainder-then-queue is exactly
+        // the one-at-a-time pop order.
+        let in_flight = self.batch[self.batch_pos..]
+            .iter()
+            .map(|&queued| (now, peek(queued)))
+            .chain(pending.into_iter().map(|(t, _, event)| (t, event)))
             .map(|(t, event)| {
                 Value::object(vec![
                     ("at".into(), t.get().into()),
@@ -862,17 +1097,20 @@ impl Machine {
         // means the core's previous operation retired. Marking it at the
         // (future) completion's *schedule* time would blind the watchdog
         // to the wait itself.
-        self.last_retire[core.index()] = now;
-        let rt = &mut self.cores[core.index()];
-        debug_assert!(rt.pending.is_none(), "{core} issued while blocked");
-        let Some(&op) = rt.trace.get(rt.pc) else {
-            rt.finish = Some(now);
+        let i = core.index();
+        self.cores.last_retire[i] = now;
+        debug_assert!(
+            self.cores.pending[i].is_none(),
+            "{core} issued while blocked"
+        );
+        let Some(&op) = self.cores.trace[i].get(self.cores.pc[i]) else {
+            self.cores.finish[i] = Some(now);
             return;
         };
-        rt.pc += 1;
+        self.cores.pc[i] += 1;
         let t = now + op.think as u64;
         self.witness_local(core, op);
-        match self.privs[core.index()].access(op) {
+        match self.privs[i].access(op) {
             AccessResult::Hit {
                 latency, version, ..
             } => {
@@ -880,17 +1118,15 @@ impl Machine {
                     MemOpKind::Read => self.values.on_read(core, op.block, version),
                     MemOpKind::Write => {
                         let v = self.values.on_write(core, op.block);
-                        self.privs[core.index()].record_write(op.block, v);
+                        self.privs[i].record_write(op.block, v);
                     }
                 }
-                let rt = &mut self.cores[core.index()];
-                rt.ops_done += 1;
-                self.queue.push(t + latency, Event::Issue(core));
+                self.cores.ops_done[i] += 1;
+                self.queue.push(t + latency, QueuedEvent::Issue(core));
             }
             AccessResult::Miss { request, latency } => {
-                let rt = &mut self.cores[core.index()];
-                rt.pending = Some(op);
-                rt.issue_time = t + latency;
+                self.cores.pending[i] = Some(op);
+                self.cores.issue_time[i] = t + latency;
                 let home = self.home(op.block);
                 let (arrival, duplicate) = self.deliver_faulty(
                     core.node(),
@@ -899,27 +1135,17 @@ impl Machine {
                     request.class(),
                     t + latency,
                 );
-                self.queue.push(
-                    arrival,
-                    Event::BankMsg(BankMsg {
-                        from: core,
-                        req: request,
-                        block: op.block,
-                        version: 0,
-                    }),
-                );
+                let msg = BankMsg {
+                    from: core,
+                    req: request,
+                    block: op.block,
+                    version: 0,
+                };
+                self.push_msg(arrival, msg);
                 if let Some(dup_arrival) = duplicate {
                     // The fault hook duplicated the request in flight;
                     // the copy arrives later as a spurious demand.
-                    self.queue.push(
-                        dup_arrival,
-                        Event::BankMsg(BankMsg {
-                            from: core,
-                            req: request,
-                            block: op.block,
-                            version: 0,
-                        }),
-                    );
+                    self.push_msg(dup_arrival, msg);
                 }
             }
         }
@@ -971,10 +1197,13 @@ impl Machine {
             return t;
         }
         let req_arr = self.deliver(bank_id.node(), dir_bank.node(), CONTROL_FLITS, "dir", t);
-        let db = &mut self.banks[dir_bank.index()];
-        let start = req_arr.max(db.free_at);
-        db.free_at = start + self.cfg.bank_occupancy;
-        db.backend.dir_bank_accesses.incr();
+        let free = &mut self.bank_free[dir_bank.index()];
+        let start = req_arr.max(*free);
+        *free = start + self.cfg.bank_occupancy;
+        self.banks[dir_bank.index()]
+            .backend
+            .dir_bank_accesses
+            .incr();
         let rep_arr = self.deliver(
             dir_bank.node(),
             bank_id.node(),
@@ -988,11 +1217,10 @@ impl Machine {
 
     fn process_put(&mut self, msg: BankMsg, now: Cycle) {
         let bank_id = self.home(msg.block);
-        let bank = &mut self.banks[bank_id.index()];
-        let mut t =
-            now.max(bank.free_at).max(bank.block_busy_until(msg.block)) + self.cfg.dir_latency;
-        bank.free_at = t.max(bank.free_at) + self.cfg.bank_occupancy;
-        bank.hold_block(msg.block, t);
+        let free = self.bank_free[bank_id.index()];
+        let mut t = now.max(free).max(self.block_busy_until(msg.block)) + self.cfg.dir_latency;
+        self.bank_free[bank_id.index()] = t.max(free) + self.cfg.bank_occupancy;
+        self.hold_block(msg.block, t);
 
         let dir_bank = self.dir_bank_of(msg.block);
         t = self.consult_dir_bank(bank_id, dir_bank, t);
@@ -1061,9 +1289,8 @@ impl Machine {
         // fails this; detect and quiesce instead of corrupting state or
         // panicking mid-handler.
         if self.faults.is_some() {
-            let matches_pending = self.cores[requester.index()]
-                .pending
-                .is_some_and(|op| op.block == block);
+            let matches_pending =
+                self.cores.pending[requester.index()].is_some_and(|op| op.block == block);
             if !matches_pending {
                 self.values.report(format!(
                     "I8: {requester} has no pending op for {block} yet its {:?} reached the home (duplicated or spurious message)",
@@ -1079,16 +1306,16 @@ impl Machine {
         // the requester's completion lands past the watchdog bound.
         if self.roll_fault(FaultClass::StuckTransient, now) {
             let stuck = self.faults.as_ref().map_or(0, |p| p.config().stuck_cycles);
-            self.banks[bank_id.index()].hold_block(block, now + stuck);
+            self.hold_block(block, now + stuck);
             if let Some(plan) = self.faults.as_mut() {
                 plan.record_injection(FaultClass::StuckTransient);
             }
         }
 
         // Serialize: per-block window plus bank pipeline occupancy.
-        let bank = &mut self.banks[bank_id.index()];
-        let start = now.max(bank.free_at).max(bank.block_busy_until(block));
-        bank.free_at = start + self.cfg.bank_occupancy;
+        let free = self.bank_free[bank_id.index()];
+        let start = now.max(free).max(self.block_busy_until(block));
+        self.bank_free[bank_id.index()] = start + self.cfg.bank_occupancy;
         let mut t = start + self.cfg.dir_latency;
 
         // DLS keeps no directory entries; its demand path is different
@@ -1278,7 +1505,7 @@ impl Machine {
             if let Some(plan) = self.faults.as_mut() {
                 plan.record_injection(FaultClass::DropGrant);
             }
-            self.banks[bank_id.index()].hold_block(block, fill_done);
+            self.hold_block(block, fill_done);
             return;
         }
         self.complete_demand(
@@ -1289,10 +1516,10 @@ impl Machine {
             data_version,
             fill_done,
         );
-        self.banks[bank_id.index()].hold_block(block, fill_done);
+        self.hold_block(block, fill_done);
         self.miss_latency
-            .record(fill_done.saturating_since(self.cores[requester.index()].issue_time));
-        self.queue.push(fill_done, Event::Issue(requester));
+            .record(fill_done.saturating_since(self.cores.issue_time[requester.index()]));
+        self.queue.push(fill_done, QueuedEvent::Issue(requester));
     }
 
     /// DLS demand handling (directoryless). The first toucher of a block
@@ -1367,8 +1594,7 @@ impl Machine {
                 .backend
                 .remote_llc_accesses
                 .incr();
-            let op = self.cores[requester.index()]
-                .pending
+            let op = self.cores.pending[requester.index()]
                 .take()
                 // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
                 .expect("demand completion matches a pending op");
@@ -1395,11 +1621,11 @@ impl Machine {
                     )
                 }
             };
-            self.cores[requester.index()].ops_done += 1;
-            self.banks[bank_id.index()].hold_block(block, done);
+            self.cores.ops_done[requester.index()] += 1;
+            self.hold_block(block, done);
             self.miss_latency
-                .record(done.saturating_since(self.cores[requester.index()].issue_time));
-            self.queue.push(done, Event::Issue(requester));
+                .record(done.saturating_since(self.cores.issue_time[requester.index()]));
+            self.queue.push(done, QueuedEvent::Issue(requester));
             return;
         }
 
@@ -1415,10 +1641,10 @@ impl Machine {
         let arr = self.deliver(bank_id.node(), requester.node(), DATA_FLITS, "data", ready);
         let fill_done = arr + self.cfg.l2.latency;
         self.complete_demand(requester, msg.req, grant, true, version, fill_done);
-        self.banks[bank_id.index()].hold_block(block, fill_done);
+        self.hold_block(block, fill_done);
         self.miss_latency
-            .record(fill_done.saturating_since(self.cores[requester.index()].issue_time));
-        self.queue.push(fill_done, Event::Issue(requester));
+            .record(fill_done.saturating_since(self.cores.issue_time[requester.index()]));
+        self.queue.push(fill_done, QueuedEvent::Issue(requester));
     }
 
     /// Applies the grant at the requester: fill (or permission upgrade),
@@ -1432,8 +1658,7 @@ impl Machine {
         data_version: u64,
         fill_done: Cycle,
     ) {
-        let op = self.cores[requester.index()]
-            .pending
+        let op = self.cores.pending[requester.index()]
             .take()
             // lint: allow(expect) — protocol invariant; a miss here is a coherence bug the checker must surface, not a recoverable state.
             .expect("demand completion matches a pending op");
@@ -1455,14 +1680,14 @@ impl Machine {
                         put.class(),
                         fill_done,
                     );
-                    self.queue.push(
+                    self.push_msg(
                         arrival,
-                        Event::BankMsg(BankMsg {
+                        BankMsg {
                             from: requester,
                             req: put,
                             block: ev.block,
                             version: ev.version,
-                        }),
+                        },
                     );
                 }
             }
@@ -1479,7 +1704,7 @@ impl Machine {
                 self.privs[requester.index()].record_write(op.block, v);
             }
         }
-        self.cores[requester.index()].ops_done += 1;
+        self.cores.ops_done[requester.index()] += 1;
     }
 
     /// Guarantees `block` is LLC-resident at `bank`, fetching from DRAM
@@ -1699,11 +1924,12 @@ impl Machine {
         let mut sink = StatSink::new();
         let cycles = self
             .cores
+            .finish
             .iter()
-            .map(|c| c.finish.unwrap_or(Cycle::ZERO).get())
+            .map(|f| f.unwrap_or(Cycle::ZERO).get())
             .max()
             .unwrap_or(0);
-        let completed_ops: u64 = self.cores.iter().map(|c| c.ops_done).sum();
+        let completed_ops: u64 = self.cores.ops_done.iter().sum();
 
         // Every per-component section is built as its own *shard* sink
         // holding only additive counters, then folded into the report
@@ -1890,6 +2116,53 @@ mod tests {
         let report = Machine::new(cfg).run(traces);
         report.assert_clean();
         report
+    }
+
+    /// The interned witness tables must carry exactly the canonical
+    /// labels of `stashdir_protocol::reachability`, at exactly the
+    /// index each `*_idx` function assigns — otherwise campaign
+    /// coverage would diff garbage against the protocol-model artifact.
+    #[test]
+    fn witness_label_tables_match_reachability_and_idx_functions() {
+        use stashdir_protocol::reachability as reach;
+        for s in [
+            PrivState::Invalid,
+            PrivState::Shared,
+            PrivState::Exclusive,
+            PrivState::Modified,
+        ] {
+            assert_eq!(STATE_LABELS[state_idx(s)], reach::state_label(s));
+        }
+        for p in [
+            Probe::FwdGetS,
+            Probe::FwdGetM,
+            Probe::Inv,
+            Probe::Recall,
+            Probe::Discovery(DiscoveryIntent::Share),
+            Probe::Discovery(DiscoveryIntent::Invalidate),
+        ] {
+            assert_eq!(PROBE_LABELS[probe_idx(p)], reach::probe_label(p));
+        }
+        for k in [MemOpKind::Read, MemOpKind::Write] {
+            assert_eq!(OP_LABELS[op_idx(k)], reach::op_label(k));
+        }
+        for r in [
+            Request::GetS,
+            Request::GetM,
+            Request::Upgrade,
+            Request::PutS,
+            Request::PutE,
+            Request::PutM,
+        ] {
+            assert_eq!(REQUEST_LABELS[request_idx(r)], reach::request_label(r));
+        }
+        for v in [
+            DirView::Untracked,
+            DirView::Exclusive(CoreId::new(0)),
+            DirView::Shared(stashdir_common::SharerSet::new(1)),
+        ] {
+            assert_eq!(VIEW_LABELS[view_idx(&v)], reach::view_label(&v));
+        }
     }
 
     #[test]
